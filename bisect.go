@@ -1,0 +1,309 @@
+package bisect
+
+import (
+	"io"
+
+	"repro/internal/anneal"
+	"repro/internal/coarsen"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hfm"
+	"repro/internal/kl"
+	"repro/internal/kway"
+	"repro/internal/matching"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+// Core types, re-exported from the internal packages. Aliases keep the
+// public API stable while the implementation lives under internal/.
+type (
+	// Graph is an immutable weighted undirected simple graph.
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// Edge is a half-edge (head vertex and weight).
+	Edge = graph.Edge
+	// Bisection is a mutable two-way partition with incremental cut and
+	// gain maintenance.
+	Bisection = partition.Bisection
+	// Bisector is the algorithm interface: Name() and Bisect().
+	Bisector = core.Bisector
+	// RefinableBisector additionally improves an existing bisection.
+	RefinableBisector = core.RefinableBisector
+	// Rand is the deterministic random source used by every algorithm.
+	Rand = rng.Rand
+	// Netlist is a VLSI netlist (cells and multi-terminal nets).
+	Netlist = netlist.Netlist
+
+	// KLOptions configures Kernighan–Lin.
+	KLOptions = kl.Options
+	// SAOptions configures simulated annealing (JAMS'89 schedule).
+	SAOptions = anneal.Options
+	// FMOptions configures Fiduccia–Mattheyses.
+	FMOptions = fm.Options
+	// SpectralOptions configures spectral bisection.
+	SpectralOptions = spectral.Options
+	// MultilevelOptions configures the recursive compaction driver.
+	MultilevelOptions = coarsen.MultilevelOptions
+
+	// KL is plain Kernighan–Lin (Bisector).
+	KL = core.KL
+	// SA is plain simulated annealing (Bisector).
+	SA = core.SA
+	// FM is plain Fiduccia–Mattheyses (Bisector).
+	FM = core.FM
+	// Spectral is Fiedler-vector bisection (Bisector).
+	Spectral = core.Spectral
+	// Compacted wraps a RefinableBisector with the paper's compaction.
+	Compacted = core.Compacted
+	// Multilevel wraps a RefinableBisector with recursive compaction.
+	Multilevel = core.Multilevel
+	// BestOf repeats a Bisector and keeps the best cut.
+	BestOf = core.BestOf
+	// ParallelBestOf runs independent starts concurrently.
+	ParallelBestOf = core.ParallelBestOf
+	// KWayPartition is a k-way vertex partition (see RecursiveKWay).
+	KWayPartition = kway.Partition
+	// HFMOptions configures hypergraph FM on netlists.
+	HFMOptions = hfm.Options
+	// HFMResult reports a hypergraph FM run.
+	HFMResult = hfm.Result
+	// RandomBisector assigns sides uniformly at random under balance.
+	RandomBisector = core.Random
+	// GreedyBisector grows one side by BFS.
+	GreedyBisector = core.Greedy
+)
+
+// NewRand returns a deterministic random source (lagged-Fibonacci) seeded
+// with seed.
+func NewRand(seed uint64) *Rand { return rng.NewFib(seed) }
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewBisector returns the named algorithm with default options.
+// Recognized names: random, greedy, kl, sa, fm, ckl, csa, cfm, mlkl,
+// mlfm, spectral.
+func NewBisector(name string) (Bisector, error) { return core.New(name) }
+
+// BisectorNames lists the registry's algorithm names.
+func BisectorNames() []string { return core.Names() }
+
+// NewBisection wraps an explicit side assignment (entries 0/1).
+func NewBisection(g *Graph, side []uint8) (*Bisection, error) { return partition.New(g, side) }
+
+// NewRandomBisection returns a random balanced bisection.
+func NewRandomBisection(g *Graph, r *Rand) *Bisection { return partition.NewRandom(g, r) }
+
+// CutOf computes the weighted cut of a side assignment.
+func CutOf(g *Graph, side []uint8) int64 { return partition.CutOf(g, side) }
+
+// Graph generators (the paper's models and special families).
+
+// GNP samples the Erdős–Rényi model 𝒢np(n, p).
+func GNP(n int, p float64, r *Rand) (*Graph, error) { return gen.GNP(n, p, r) }
+
+// TwoSet samples the planted-bisection model 𝒢2set(2n, pA, pB, bis).
+func TwoSet(twoN int, pA, pB float64, bis int, r *Rand) (*Graph, error) {
+	return gen.TwoSet(twoN, pA, pB, bis, r)
+}
+
+// TwoSetForAvgDegree converts a target average degree to the internal
+// edge probability of TwoSet.
+func TwoSetForAvgDegree(twoN int, avgDeg float64, bis int) (float64, error) {
+	return gen.TwoSetForAvgDegree(twoN, avgDeg, bis)
+}
+
+// BReg samples 𝒢breg(2n, b, d): d-regular with planted bisection width b.
+func BReg(twoN, b, d int, r *Rand) (*Graph, error) { return gen.BReg(twoN, b, d, r) }
+
+// RandomRegular samples a uniform simple d-regular graph.
+func RandomRegular(n, d int, r *Rand) (*Graph, error) { return gen.RandomRegular(n, d, r) }
+
+// Path returns the path graph on n vertices.
+func Path(n int) (*Graph, error) { return gen.Path(n) }
+
+// Cycle returns the cycle on n ≥ 3 vertices.
+func Cycle(n int) (*Graph, error) { return gen.Cycle(n) }
+
+// CycleCollection returns a disjoint union of cycles.
+func CycleCollection(sizes []int) (*Graph, error) { return gen.CycleCollection(sizes) }
+
+// Ladder returns the 2×k ladder graph.
+func Ladder(k int) (*Graph, error) { return gen.Ladder(k) }
+
+// Ladder3N returns the paper's 3N-vertex ladder (midpoint rungs).
+func Ladder3N(n int) (*Graph, error) { return gen.Ladder3N(n) }
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) (*Graph, error) { return gen.Grid(rows, cols) }
+
+// Torus returns the rows×cols torus.
+func Torus(rows, cols int) (*Graph, error) { return gen.Torus(rows, cols) }
+
+// CompleteBinaryTree returns the heap-layout binary tree on n vertices.
+func CompleteBinaryTree(n int) (*Graph, error) { return gen.CompleteBinaryTree(n) }
+
+// Hypercube returns the dim-dimensional hypercube.
+func Hypercube(dim int) (*Graph, error) { return gen.Hypercube(dim) }
+
+// Complete returns K_n.
+func Complete(n int) (*Graph, error) { return gen.Complete(n) }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) (*Graph, error) { return gen.CompleteBipartite(a, b) }
+
+// Caterpillar returns a caterpillar tree.
+func Caterpillar(spine, legs int) (*Graph, error) { return gen.Caterpillar(spine, legs) }
+
+// WattsStrogatz samples a small-world graph (ring lattice with rewiring).
+func WattsStrogatz(n, k int, beta float64, r *Rand) (*Graph, error) {
+	return gen.WattsStrogatz(n, k, beta, r)
+}
+
+// Geometric samples a random geometric graph on the unit square.
+func Geometric(n int, radius float64, r *Rand) (*Graph, error) { return gen.Geometric(n, radius, r) }
+
+// GeometricRadiusForAvgDegree converts a target average degree to a
+// Geometric radius.
+func GeometricRadiusForAvgDegree(n int, avgDeg float64) (float64, error) {
+	return gen.GeometricRadiusForAvgDegree(n, avgDeg)
+}
+
+// RandomNetlistOptions parameterizes RandomNetlist.
+type RandomNetlistOptions = netlist.RandomOptions
+
+// RandomNetlist generates a synthetic netlist with Rent-style locality.
+func RandomNetlist(opts RandomNetlistOptions, r *Rand) (*Netlist, error) {
+	return netlist.Random(opts, r)
+}
+
+// Serialization.
+
+// WriteEdgeList writes g in the native edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// ReadEdgeList parses the native edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteMETIS writes g in the METIS adjacency format.
+func WriteMETIS(w io.Writer, g *Graph) error { return graph.WriteMETIS(w, g) }
+
+// ReadMETIS parses the METIS adjacency format.
+func ReadMETIS(r io.Reader) (*Graph, error) { return graph.ReadMETIS(r) }
+
+// MarshalGraph encodes g as JSON.
+func MarshalGraph(g *Graph) ([]byte, error) { return graph.MarshalGraph(g) }
+
+// UnmarshalGraph decodes JSON produced by MarshalGraph.
+func UnmarshalGraph(data []byte) (*Graph, error) { return graph.UnmarshalGraph(data) }
+
+// Exact solvers.
+
+// ExactBisectionWidth computes the exact minimum bisection (≤ 28
+// vertices) with a witness.
+func ExactBisectionWidth(g *Graph) (int64, []uint8, error) { return exact.BisectionWidth(g) }
+
+// CycleCollectionWidth computes the exact bisection width of a disjoint
+// union of cycles.
+func CycleCollectionWidth(g *Graph) (int64, error) { return exact.CycleCollectionWidth(g) }
+
+// Matching and compaction primitives.
+
+// RandomMaximalMatching returns a random maximal matching as a mate
+// array (−1 = unmatched).
+func RandomMaximalMatching(g *Graph, r *Rand) []int32 { return matching.RandomMaximal(g, r) }
+
+// HeavyEdgeMatching returns a maximal matching preferring heavy edges.
+func HeavyEdgeMatching(g *Graph, r *Rand) []int32 { return matching.HeavyEdge(g, r) }
+
+// Contraction records a fine↔coarse correspondence.
+type Contraction = coarsen.Contraction
+
+// Contract coalesces the matched pairs of mate into a weighted coarse
+// graph.
+func Contract(g *Graph, mate []int32) (*Contraction, error) { return coarsen.Contract(g, mate) }
+
+// RepairBalance greedily restores weight balance and returns the final
+// imbalance.
+func RepairBalance(b *Bisection, maxImbalance int64) int64 {
+	return partition.RepairBalance(b, maxImbalance)
+}
+
+// Netlists.
+
+// RecursiveKWay partitions g into k parts by recursive bisection with
+// the given bisector (k need not be a power of two).
+func RecursiveKWay(g *Graph, k int, bisector Bisector, r *Rand) (*KWayPartition, error) {
+	return kway.Recursive(g, k, bisector, r)
+}
+
+// RefineKWayPairs improves a k-way partition in place with pairwise FM
+// between parts sharing cut edges; returns the total cut improvement.
+func RefineKWayPairs(p *KWayPartition, rounds int) (int64, error) {
+	return kway.RefinePairs(p, rounds)
+}
+
+// KWayDirectRefineOptions configures DirectRefineKWay.
+type KWayDirectRefineOptions = kway.DirectRefineOptions
+
+// DirectRefineKWay improves a k-way partition in place with greedy
+// boundary moves (cheaper than pairwise FM; useful for large k).
+func DirectRefineKWay(p *KWayPartition, opts KWayDirectRefineOptions) (int64, error) {
+	return kway.DirectRefine(p, opts)
+}
+
+// HFMBisect partitions a netlist directly with hypergraph FM, minimizing
+// cut nets (the VLSI metric), from a random area-balanced start.
+func HFMBisect(nl *Netlist, opts HFMOptions, r *Rand) (HFMResult, error) {
+	return hfm.Bisect(nl, opts, r)
+}
+
+// HFMRefine improves an existing netlist side assignment in place with
+// hypergraph FM passes.
+func HFMRefine(nl *Netlist, sides []uint8, opts HFMOptions) (HFMResult, error) {
+	return hfm.Refine(nl, sides, opts)
+}
+
+// InducedSubgraph returns the subgraph induced by vertices and the
+// new-to-old id mapping.
+func InducedSubgraph(g *Graph, vertices []int32) (*Graph, []int32, error) {
+	return graph.Induced(g, vertices)
+}
+
+// PermuteGraph relabels g's vertices by the permutation perm.
+func PermuteGraph(g *Graph, perm []int32) (*Graph, error) { return graph.Permute(g, perm) }
+
+// UnionGraphs returns the disjoint union of a and b.
+func UnionGraphs(a, b *Graph) (*Graph, error) { return graph.Union(a, b) }
+
+// TreeBisectionWidth computes the exact minimum bisection of a forest in
+// O(n²) with a witness.
+func TreeBisectionWidth(g *Graph) (int64, []uint8, error) { return exact.TreeBisectionWidth(g) }
+
+// Lambda2 estimates the algebraic connectivity (second-smallest Laplacian
+// eigenvalue) via the Fiedler vector's Rayleigh quotient.
+func Lambda2(g *Graph, opts SpectralOptions, r *Rand) (float64, error) {
+	return spectral.Lambda2(g, opts, r)
+}
+
+// SpectralLowerBound returns the Fiedler lower bound λ₂·|V|/4 on the
+// bisection width (approximate: λ₂ is estimated).
+func SpectralLowerBound(g *Graph, opts SpectralOptions, r *Rand) (float64, error) {
+	return spectral.BisectionLowerBound(g, opts, r)
+}
+
+// NewNetlist returns an empty VLSI netlist.
+func NewNetlist() *Netlist { return netlist.New() }
+
+// ParseNetlist reads the netlist text format.
+func ParseNetlist(r io.Reader) (*Netlist, error) { return netlist.Parse(r) }
+
+// WriteNetlist writes the netlist text format.
+func WriteNetlist(w io.Writer, nl *Netlist) error { return netlist.Write(w, nl) }

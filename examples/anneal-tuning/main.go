@@ -1,0 +1,49 @@
+// Annealing-schedule tuning: Section VII of the paper notes that "fine
+// tuning of the annealing schedule can be a big job" and that quick
+// schedules terminate "usually at a far from optimal solution".
+//
+// This example sweeps the two schedule knobs that trade time for quality
+// (SIZEFACTOR, the trials per temperature, and TEMPFACTOR, the cooling
+// rate) on one sparse planted instance and prints the cut/time frontier,
+// reproducing that qualitative trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	bisect "repro"
+)
+
+func main() {
+	g, err := bisect.BReg(1000, 8, 3, bisect.NewRand(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Gbreg(1000, 8, 3), planted width 8, single SA run per cell\n\n")
+	sizeFactors := []int{1, 4, 16}
+	tempFactors := []float64{0.8, 0.9, 0.95}
+
+	fmt.Printf("%-12s", "size\\cool")
+	for _, tf := range tempFactors {
+		fmt.Printf("%-16.2f", tf)
+	}
+	fmt.Println()
+	for _, sf := range sizeFactors {
+		fmt.Printf("%-12d", sf)
+		for _, tf := range tempFactors {
+			opts := bisect.SAOptions{SizeFactor: sf, TempFactor: tf}
+			r := bisect.NewRand(11)
+			t0 := time.Now()
+			b, err := (bisect.SA{Opts: opts}).Bisect(g, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s", fmt.Sprintf("%d/%s", b.Cut(), time.Since(t0).Round(time.Millisecond)))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ncells are cut/time: slower schedules (right and down) buy quality;")
+	fmt.Println("compaction (see examples/sparse) buys more of it for less time.")
+}

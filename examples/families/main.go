@@ -1,0 +1,75 @@
+// Graph families: how the algorithms behave across qualitatively
+// different topologies — the paper's planted models, its KL-adversarial
+// ladders, and two modern families (random geometric and small-world)
+// that bracket the "has small separators" / "has none" spectrum. The
+// spectral lower bound column shows how much certified slack each
+// heuristic cut carries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bisect "repro"
+)
+
+func main() {
+	type family struct {
+		name string
+		make func() (*bisect.Graph, error)
+	}
+	r := bisect.NewRand(2024)
+	geoRad, err := bisect.GeometricRadiusForAvgDegree(1000, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	families := []family{
+		{"breg(1000,8,3)", func() (*bisect.Graph, error) { return bisect.BReg(1000, 8, 3, r) }},
+		{"2set(1000,d3,b16)", func() (*bisect.Graph, error) {
+			p, err := bisect.TwoSetForAvgDegree(1000, 3, 16)
+			if err != nil {
+				return nil, err
+			}
+			return bisect.TwoSet(1000, p, p, 16, r)
+		}},
+		{"ladder3N(334)", func() (*bisect.Graph, error) { return bisect.Ladder3N(334) }},
+		{"grid 32x32", func() (*bisect.Graph, error) { return bisect.Grid(32, 32) }},
+		{"geometric(1000,d6)", func() (*bisect.Graph, error) { return bisect.Geometric(1000, geoRad, r) }},
+		{"smallworld(1000,4,.1)", func() (*bisect.Graph, error) { return bisect.WattsStrogatz(1000, 4, 0.1, r) }},
+		{"gnp(1000,d3)", func() (*bisect.Graph, error) { return bisect.GNP(1000, 3.0/999, r) }},
+	}
+
+	fmt.Printf("%-22s %-8s %-8s %-8s %-10s\n", "family", "KL", "CKL", "MLKL", "λ2·n/4")
+	for _, f := range families {
+		g, err := f.make()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if g.N()%2 != 0 {
+			log.Fatalf("%s: odd vertex count", f.name)
+		}
+		row := fmt.Sprintf("%-22s", f.name)
+		for _, alg := range []bisect.Bisector{
+			bisect.KL{},
+			bisect.Compacted{Inner: bisect.KL{}},
+			bisect.Multilevel{Inner: bisect.KL{}},
+		} {
+			b, err := bisect.BestOf{Inner: alg, Starts: 2}.Bisect(g, bisect.NewRand(5))
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf("%-8d", b.Cut())
+		}
+		lb, err := bisect.SpectralLowerBound(g, bisect.SpectralOptions{}, bisect.NewRand(6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		row += fmt.Sprintf("%-10.1f", lb)
+		fmt.Println(row)
+	}
+	fmt.Println("\nReading the table: structured families (ladder, grid, geometric)")
+	fmt.Println("have small separators and compaction/multilevel close the gap to")
+	fmt.Println("them. Gnp at average degree 3 is disconnected (λ₂ = 0 certifies")
+	fmt.Println("nothing) yet every balanced cut is large — the model 'may not")
+	fmt.Println("distinguish good heuristics from mediocre ones' (paper, Section IV).")
+}

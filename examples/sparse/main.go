@@ -1,0 +1,53 @@
+// Sparse graphs: the paper's headline result, live.
+//
+// On random regular graphs of degree 3 the plain algorithms land tens of
+// times above the planted bisection width, while the compacted variants
+// find it almost exactly (Observation 2: ≥90% improvement on
+// Gbreg(5000, b, 3)). On degree-4 graphs everyone does well
+// (Observation 1). This example sweeps degree 3 and 4 and prints the
+// comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	bisect "repro"
+)
+
+func main() {
+	const vertices = 2000
+	const planted = 8
+
+	fastSA := bisect.SAOptions{SizeFactor: 8, TempFactor: 0.95, FreezeLim: 4, MaxTemps: 500}
+	rows := []struct {
+		degree int
+	}{{3}, {4}}
+
+	fmt.Printf("Gbreg(%d, %d, d): planted width %d, best of 2 starts\n\n", vertices, planted, planted)
+	fmt.Printf("%-4s %-10s %-10s %-10s %-10s\n", "d", "KL", "CKL", "SA", "CSA")
+	for _, row := range rows {
+		g, err := bisect.BReg(vertices, planted, row.degree, bisect.NewRand(uint64(row.degree)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cuts := map[string]string{}
+		for _, alg := range []bisect.Bisector{
+			bisect.KL{},
+			bisect.Compacted{Inner: bisect.KL{}},
+			bisect.SA{Opts: fastSA},
+			bisect.Compacted{Inner: bisect.SA{Opts: fastSA}},
+		} {
+			r := bisect.NewRand(99)
+			t0 := time.Now()
+			b, err := bisect.BestOf{Inner: alg, Starts: 2}.Bisect(g, r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cuts[alg.Name()] = fmt.Sprintf("%d/%s", b.Cut(), time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Printf("%-4d %-10s %-10s %-10s %-10s\n", row.degree, cuts["kl"], cuts["ckl"], cuts["sa"], cuts["csa"])
+	}
+	fmt.Println("\ncells are cut/time; compare each plain column with its compacted twin")
+}

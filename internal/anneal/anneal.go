@@ -1,0 +1,280 @@
+// Package anneal implements simulated annealing for graph bisection,
+// following the paper's Figure 1 and the Johnson–Aragon–McGeoch–Schevon
+// parameterization it cites ([JCAMS84], published as JAMS'89):
+//
+//   - states are arbitrary two-way partitions (not necessarily balanced);
+//   - the cost function is cut(V1,V2) + α·(w(V1)−w(V2))², so imbalance is
+//     penalized rather than forbidden;
+//   - a move flips one uniformly random vertex; downhill moves are always
+//     accepted, uphill moves with probability exp(−Δ/T);
+//   - the start temperature is calibrated so the initial acceptance ratio
+//     is roughly InitProb; each temperature runs SizeFactor·|V| trials;
+//     the temperature is then multiplied by TempFactor;
+//   - the system is "frozen" when the acceptance ratio stays below
+//     MinPercent for FreezeLim consecutive temperatures with no
+//     improvement to the best solution seen.
+//
+// As the paper notes, SA can migrate away from an optimum found at high
+// temperature, so the best state seen is saved throughout; at the end it
+// is rebalanced to an exact bisection with gain-aware repair moves.
+package anneal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// Options configures the annealing schedule. Zero values select the
+// defaults noted on each field (the JAMS'89 choices).
+type Options struct {
+	// Alpha is the imbalance penalty coefficient (default 0.05).
+	Alpha float64
+	// InitProb is the target initial acceptance probability used to
+	// calibrate the start temperature (default 0.4).
+	InitProb float64
+	// SizeFactor scales trials per temperature: SizeFactor·|V| (default 16).
+	SizeFactor int
+	// TempFactor is the geometric cooling rate (default 0.95).
+	TempFactor float64
+	// MinPercent is the freezing acceptance-ratio threshold (default 0.02).
+	MinPercent float64
+	// FreezeLim is how many consecutive low-acceptance, no-improvement
+	// temperatures constitute frozen (default 5).
+	FreezeLim int
+	// MaxTemps caps the temperature count as a safety net (default 2000).
+	MaxTemps int
+	// Acceptance selects the uphill-move rule: AcceptMetropolis (default,
+	// Figure 1's exp(−Δ/T)) or AcceptThreshold (deterministic Δ < T,
+	// Dueck & Scheuer's "threshold accepting" — a later simplification
+	// included for the schedule ablation).
+	Acceptance AcceptanceRule
+	// Cooling selects the temperature decrement: CoolGeometric (default,
+	// T ← TempFactor·T, Figure 1's "REDUCE TEMPERATURE") or CoolAdaptive
+	// (Aarts–van Laarhoven: T ← T / (1 + T·ln(1+Delta)/(3σ_T)), where σ_T
+	// is the cost standard deviation observed at the current temperature
+	// — slow cooling through phase transitions, fast elsewhere).
+	Cooling CoolingRule
+	// Delta is the adaptive schedule's distance parameter (default 0.1;
+	// smaller = slower, higher-quality cooling). Ignored for geometric
+	// cooling.
+	Delta float64
+}
+
+// CoolingRule selects the temperature decrement rule.
+type CoolingRule int
+
+const (
+	// CoolGeometric multiplies the temperature by TempFactor.
+	CoolGeometric CoolingRule = iota
+	// CoolAdaptive uses the Aarts–van Laarhoven variance-based decrement.
+	CoolAdaptive
+)
+
+// AcceptanceRule selects how uphill moves are accepted.
+type AcceptanceRule int
+
+const (
+	// AcceptMetropolis accepts an uphill move with probability exp(−Δ/T).
+	AcceptMetropolis AcceptanceRule = iota
+	// AcceptThreshold accepts any move with Δ < T deterministically.
+	AcceptThreshold
+)
+
+func (o Options) withDefaults() Options {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.InitProb <= 0 || o.InitProb >= 1 {
+		o.InitProb = 0.4
+	}
+	if o.SizeFactor <= 0 {
+		o.SizeFactor = 16
+	}
+	if o.TempFactor <= 0 || o.TempFactor >= 1 {
+		o.TempFactor = 0.95
+	}
+	if o.MinPercent <= 0 {
+		o.MinPercent = 0.02
+	}
+	if o.FreezeLim <= 0 {
+		o.FreezeLim = 5
+	}
+	if o.MaxTemps <= 0 {
+		o.MaxTemps = 2000
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.1
+	}
+	return o
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Temperatures int
+	Trials       int64
+	Accepted     int64
+	StartTemp    float64
+	FinalTemp    float64
+	InitialCut   int64
+	FinalCut     int64 // after rebalancing
+}
+
+// String implements a compact summary for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("sa{temps=%d trials=%d acc=%.1f%% T %g→%g cut %d→%d}",
+		s.Temperatures, s.Trials, 100*float64(s.Accepted)/math.Max(1, float64(s.Trials)),
+		s.StartTemp, s.FinalTemp, s.InitialCut, s.FinalCut)
+}
+
+// Refine anneals b in place starting from its current state and returns
+// run statistics. On return b is a balanced bisection (imbalance at the
+// parity minimum for unit weights): the best state seen during the run,
+// rebalanced with gain-aware repair moves.
+func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
+	o := opts.withDefaults()
+	g := b.Graph()
+	n := g.N()
+	st := Stats{InitialCut: b.Cut(), FinalCut: b.Cut()}
+	if n == 0 {
+		return st, nil
+	}
+
+	cost := func(bb *partition.Bisection) float64 {
+		d := float64(bb.SideWeight(0) - bb.SideWeight(1))
+		return float64(bb.Cut()) + o.Alpha*d*d
+	}
+	// delta returns the cost change of flipping v.
+	delta := func(v int32) float64 {
+		d := float64(b.SideWeight(0) - b.SideWeight(1))
+		w := float64(g.VertexWeight(v))
+		var nd float64
+		if b.Side(v) == 0 {
+			nd = d - 2*w
+		} else {
+			nd = d + 2*w
+		}
+		return -float64(b.Gain(v)) + o.Alpha*(nd*nd-d*d)
+	}
+
+	temp := calibrateStartTemp(b, o, delta, r)
+	st.StartTemp = temp
+
+	best := b.Clone()
+	bestCost := cost(b)
+	frozen := 0
+	trialsPerTemp := int64(o.SizeFactor) * int64(n)
+
+	for t := 0; t < o.MaxTemps && frozen < o.FreezeLim; t++ {
+		var accepted int64
+		improvedBest := false
+		// Running cost statistics for the adaptive schedule.
+		cur := cost(b)
+		var costSum, costSumSq float64
+		for k := int64(0); k < trialsPerTemp; k++ {
+			v := int32(r.Intn(n))
+			dE := delta(v)
+			accept := dE <= 0
+			if !accept {
+				if o.Acceptance == AcceptThreshold {
+					accept = dE < temp
+				} else {
+					accept = r.Float64() < math.Exp(-dE/temp)
+				}
+			}
+			if accept {
+				b.Move(v)
+				cur += dE
+				accepted++
+				if cur < bestCost {
+					// Recompute exactly to avoid float drift in the saved
+					// best (dE accumulation is exact in spirit but float).
+					if c := cost(b); c < bestCost {
+						bestCost = c
+						best.Assign(b)
+						improvedBest = true
+					}
+					cur = cost(b)
+				}
+			}
+			costSum += cur
+			costSumSq += cur * cur
+		}
+		st.Temperatures++
+		st.Trials += trialsPerTemp
+		st.Accepted += accepted
+		st.FinalTemp = temp
+		if o.Cooling == CoolAdaptive {
+			mean := costSum / float64(trialsPerTemp)
+			variance := costSumSq/float64(trialsPerTemp) - mean*mean
+			if variance < 1e-12 {
+				variance = 1e-12
+			}
+			sigma := math.Sqrt(variance)
+			temp = temp / (1 + temp*math.Log(1+o.Delta)/(3*sigma))
+		} else {
+			temp *= o.TempFactor
+		}
+		if float64(accepted) < o.MinPercent*float64(trialsPerTemp) && !improvedBest {
+			frozen++
+		} else {
+			frozen = 0
+		}
+	}
+
+	// Adopt the best state seen and rebalance it exactly.
+	b.Assign(best)
+	partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	st.FinalCut = b.Cut()
+	return st, nil
+}
+
+// Run anneals from a fresh random balanced bisection of g.
+func Run(g *graph.Graph, opts Options, r *rng.Rand) (*partition.Bisection, Stats, error) {
+	b := partition.NewRandom(g, r)
+	st, err := Refine(b, opts, r)
+	return b, st, err
+}
+
+// calibrateStartTemp estimates the temperature at which the acceptance
+// ratio of random moves from the current state is about InitProb: it
+// samples uphill deltas and solves exp(−avgUp/T) = InitProb, then doubles
+// T (a few times at most) until a sampled acceptance ratio reaches the
+// target, mirroring JAMS's trial-run calibration.
+func calibrateStartTemp(b *partition.Bisection, o Options, delta func(int32) float64, r *rng.Rand) float64 {
+	n := b.N()
+	samples := 64 + 4*n
+	if samples > 4096 {
+		samples = 4096
+	}
+	var upSum float64
+	var upCount int
+	for i := 0; i < samples; i++ {
+		if dE := delta(int32(r.Intn(n))); dE > 0 {
+			upSum += dE
+			upCount++
+		}
+	}
+	if upCount == 0 {
+		// All moves downhill (or flat): any modest temperature works.
+		return 1.0
+	}
+	temp := (upSum / float64(upCount)) / math.Log(1/o.InitProb)
+	for iter := 0; iter < 30; iter++ {
+		acc := 0
+		for i := 0; i < samples; i++ {
+			dE := delta(int32(r.Intn(n)))
+			if dE <= 0 || r.Float64() < math.Exp(-dE/temp) {
+				acc++
+			}
+		}
+		if float64(acc) >= o.InitProb*float64(samples) {
+			break
+		}
+		temp *= 2
+	}
+	return temp
+}

@@ -1,0 +1,154 @@
+package coarsen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// MatchFunc produces a matching of g (e.g. matching.RandomMaximal).
+type MatchFunc func(g *graph.Graph, r *rng.Rand) []int32
+
+// RefineFunc improves a bisection in place (e.g. a KL or FM refinement
+// pass). It must not unbalance the bisection beyond what it received.
+type RefineFunc func(b *partition.Bisection, r *rng.Rand)
+
+// InitialFunc produces a starting bisection of the coarsest graph.
+type InitialFunc func(g *graph.Graph, r *rng.Rand) *partition.Bisection
+
+// MultilevelOptions configures the recursive compaction driver.
+type MultilevelOptions struct {
+	// MinSize stops coarsening once the graph has at most this many
+	// vertices (default 32).
+	MinSize int
+	// MaxLevels bounds the coarsening depth (default 30).
+	MaxLevels int
+	// MinRatio aborts coarsening when a level shrinks the graph by less
+	// than this factor (default 0.95: stop if |coarse| > 0.95·|fine|),
+	// which happens on graphs with almost no edges.
+	MinRatio float64
+	// Match selects the matching policy (default matching.RandomMaximal).
+	Match MatchFunc
+}
+
+func (o *MultilevelOptions) withDefaults() MultilevelOptions {
+	out := MultilevelOptions{MinSize: 32, MaxLevels: 30, MinRatio: 0.95, Match: matching.RandomMaximal}
+	if o == nil {
+		return out
+	}
+	if o.MinSize > 0 {
+		out.MinSize = o.MinSize
+	}
+	if o.MaxLevels > 0 {
+		out.MaxLevels = o.MaxLevels
+	}
+	if o.MinRatio > 0 {
+		out.MinRatio = o.MinRatio
+	}
+	if o.Match != nil {
+		out.Match = o.Match
+	}
+	return out
+}
+
+// Multilevel runs the full recursive compaction pipeline — the natural
+// generalization of the paper's single compaction level (and the idea its
+// companion "recursive coalescing" work develops): coarsen by repeated
+// matching contraction, bisect the coarsest graph with initial, then
+// uncoarsen level by level, repairing balance and running refine at each
+// level. Returns the final fine-graph bisection.
+func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, refine RefineFunc, r *rng.Rand) (*partition.Bisection, error) {
+	o := opts.withDefaults()
+	if initial == nil {
+		return nil, fmt.Errorf("coarsen: Multilevel needs an initial bisector")
+	}
+
+	// Coarsening phase.
+	var levels []*Contraction
+	cur := g
+	for len(levels) < o.MaxLevels && cur.N() > o.MinSize {
+		mate := o.Match(cur, r)
+		if matching.Size(mate) == 0 {
+			break
+		}
+		c, err := Contract(cur, mate)
+		if err != nil {
+			return nil, err
+		}
+		if c.Ratio() > o.MinRatio {
+			break
+		}
+		levels = append(levels, c)
+		cur = c.Coarse
+	}
+
+	// Coarsest solution.
+	b := initial(cur, r)
+	if b == nil || b.Graph() != cur {
+		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
+	}
+	minImb := partition.MinAchievableImbalance(cur.TotalVertexWeight())
+	partition.RepairBalance(b, minImb)
+	if refine != nil {
+		refine(b, r)
+	}
+
+	// Uncoarsening phase.
+	for i := len(levels) - 1; i >= 0; i-- {
+		c := levels[i]
+		fine, err := c.Project(b)
+		if err != nil {
+			return nil, err
+		}
+		b = fine
+		partition.RepairBalance(b, partition.MinAchievableImbalance(b.Graph().TotalVertexWeight()))
+		if refine != nil {
+			refine(b, r)
+		}
+	}
+	return b, nil
+}
+
+// CompactOnce performs exactly one level of the paper's compaction: match,
+// contract, solve the coarse graph with initial+refine, project back, and
+// repair balance. The returned bisection of g is the "good starting
+// bisection" that the caller then hands to the full bisection procedure.
+func CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine RefineFunc, r *rng.Rand) (*partition.Bisection, error) {
+	if match == nil {
+		match = matching.RandomMaximal
+	}
+	if initial == nil {
+		return nil, fmt.Errorf("coarsen: CompactOnce needs an initial bisector")
+	}
+	mate := match(g, r)
+	if matching.Size(mate) == 0 {
+		// Nothing to contract (edgeless graph): solve directly.
+		b := initial(g, r)
+		if b == nil || b.Graph() != g {
+			return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
+		}
+		partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+		return b, nil
+	}
+	c, err := Contract(g, mate)
+	if err != nil {
+		return nil, err
+	}
+	cb := initial(c.Coarse, r)
+	if cb == nil || cb.Graph() != c.Coarse {
+		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
+	}
+	partition.RepairBalance(cb, partition.MinAchievableImbalance(c.Coarse.TotalVertexWeight()))
+	if refine != nil {
+		refine(cb, r)
+	}
+	fine, err := c.Project(cb)
+	if err != nil {
+		return nil, err
+	}
+	partition.RepairBalance(fine, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	return fine, nil
+}

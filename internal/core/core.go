@@ -1,0 +1,338 @@
+// Package core assembles the repository's bisection algorithms behind a
+// single Bisector interface and provides the composed methods the paper
+// evaluates:
+//
+//   - KL — Kernighan–Lin from a random start (Section III);
+//   - SA — simulated annealing from a random start (Section II);
+//   - CKL / CSA — compacted KL / SA (Section V): contract a random
+//     maximal matching, bisect the contracted graph, project back, and
+//     finish on the original graph;
+//
+// plus the extensions used as baselines and ablations: FM, compacted FM,
+// multilevel (recursive compaction) KL/FM, spectral, greedy growth, and
+// random assignment.
+//
+// All algorithms are deterministic functions of the supplied rng.Rand.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anneal"
+	"repro/internal/coarsen"
+	"repro/internal/fm"
+	"repro/internal/graph"
+	"repro/internal/kl"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/spectral"
+)
+
+// Bisector produces a balanced bisection of a graph. Implementations must
+// be deterministic given the random source and must return a bisection of
+// exactly the argument graph, balanced to the parity minimum for
+// unit-weight graphs.
+type Bisector interface {
+	// Name returns a short stable identifier ("kl", "csa", ...).
+	Name() string
+	// Bisect partitions g.
+	Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error)
+}
+
+// Random assigns sides uniformly at random under exact balance. It is the
+// paper's initial-bisection generator and the weakest baseline.
+type Random struct{}
+
+// Name implements Bisector.
+func (Random) Name() string { return "random" }
+
+// Bisect implements Bisector.
+func (Random) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	return partition.NewRandom(g, r), nil
+}
+
+// Greedy grows side 0 by BFS from a random seed until it holds half the
+// vertex weight — a cheap locality-aware baseline (on grids and ladders
+// it is near-optimal; on random regular graphs it is poor).
+type Greedy struct{}
+
+// Name implements Bisector.
+func (Greedy) Name() string { return "greedy" }
+
+// Bisect implements Bisector.
+func (Greedy) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	n := g.N()
+	side := make([]uint8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	if n == 0 {
+		return partition.New(g, side)
+	}
+	half := g.TotalVertexWeight() / 2
+	var grown int64
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	// BFS from random seeds until the target weight is reached; new seeds
+	// restart the frontier when a component is exhausted.
+	perm := r.Perm(n)
+	pi := 0
+	for grown < half {
+		if len(queue) == 0 {
+			for pi < n && visited[perm[pi]] {
+				pi++
+			}
+			if pi == n {
+				break
+			}
+			v := int32(perm[pi])
+			visited[v] = true
+			queue = append(queue, v)
+		}
+		v := queue[0]
+		queue = queue[1:]
+		w := int64(g.VertexWeight(v))
+		if grown+w > half && grown > 0 {
+			continue // skip vertices that would overshoot; try others
+		}
+		side[v] = 0
+		grown += w
+		for _, e := range g.Neighbors(v) {
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	b, err := partition.New(g, side)
+	if err != nil {
+		return nil, err
+	}
+	partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	return b, nil
+}
+
+// KL is plain Kernighan–Lin from a random balanced start.
+type KL struct{ Opts kl.Options }
+
+// Name implements Bisector.
+func (KL) Name() string { return "kl" }
+
+// Bisect implements Bisector.
+func (a KL) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	b, _, err := kl.Run(g, a.Opts, r)
+	return b, err
+}
+
+// SA is plain simulated annealing from a random balanced start.
+type SA struct{ Opts anneal.Options }
+
+// Name implements Bisector.
+func (SA) Name() string { return "sa" }
+
+// Bisect implements Bisector.
+func (a SA) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	b, _, err := anneal.Run(g, a.Opts, r)
+	return b, err
+}
+
+// FM is Fiduccia–Mattheyses from a random balanced start.
+type FM struct{ Opts fm.Options }
+
+// Name implements Bisector.
+func (FM) Name() string { return "fm" }
+
+// Bisect implements Bisector.
+func (a FM) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	b, _, err := fm.Run(g, a.Opts, r)
+	return b, err
+}
+
+// Spectral is Fiedler-vector bisection.
+type Spectral struct{ Opts spectral.Options }
+
+// Name implements Bisector.
+func (Spectral) Name() string { return "spectral" }
+
+// Bisect implements Bisector.
+func (a Spectral) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	if g.N() == 0 {
+		return partition.NewRandom(g, r), nil
+	}
+	return spectral.Bisect(g, a.Opts, r)
+}
+
+// Compacted wraps an inner Bisector with one level of the paper's
+// compaction (Section V): (1) form a random maximal matching of G;
+// (2) contract it to G′; (3) run the inner bisector on G′; (4) project
+// the result back to G; (5) run the inner bisector's refinement on G
+// starting from the projected bisection.
+type Compacted struct {
+	// Inner solves the contracted graph and refines the projection.
+	Inner RefinableBisector
+	// Match overrides the matching policy (default random maximal).
+	Match coarsen.MatchFunc
+}
+
+// RefinableBisector is a Bisector that can also improve an existing
+// bisection in place — needed by compaction's final phase, which starts
+// the algorithm from the projected bisection instead of a random one.
+type RefinableBisector interface {
+	Bisector
+	// Refine improves b in place.
+	Refine(b *partition.Bisection, r *rng.Rand) error
+}
+
+// Refine implements RefinableBisector for KL.
+func (a KL) Refine(b *partition.Bisection, r *rng.Rand) error {
+	_, err := kl.Refine(b, a.Opts)
+	return err
+}
+
+// Refine implements RefinableBisector for FM.
+func (a FM) Refine(b *partition.Bisection, r *rng.Rand) error {
+	_, err := fm.Refine(b, a.Opts)
+	return err
+}
+
+// Refine implements RefinableBisector for SA.
+func (a SA) Refine(b *partition.Bisection, r *rng.Rand) error {
+	_, err := anneal.Refine(b, a.Opts, r)
+	return err
+}
+
+// Name implements Bisector.
+func (c Compacted) Name() string { return "c" + c.Inner.Name() }
+
+// Bisect implements Bisector.
+func (c Compacted) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	if c.Inner == nil {
+		return nil, fmt.Errorf("core: Compacted with nil inner bisector")
+	}
+	initial := func(cg *graph.Graph, rr *rng.Rand) *partition.Bisection {
+		b, err := c.Inner.Bisect(cg, rr)
+		if err != nil {
+			return partition.NewRandom(cg, rr) // degrade gracefully
+		}
+		return b
+	}
+	start, err := coarsen.CompactOnce(g, c.Match, initial, nil, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Inner.Refine(start, r); err != nil {
+		return nil, err
+	}
+	partition.RepairBalance(start, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	return start, nil
+}
+
+// Multilevel runs the recursive-compaction pipeline with the inner
+// bisector solving the coarsest graph and refining at every level.
+type Multilevel struct {
+	Inner RefinableBisector
+	Opts  *coarsen.MultilevelOptions
+}
+
+// Name implements Bisector.
+func (m Multilevel) Name() string { return "ml" + m.Inner.Name() }
+
+// Bisect implements Bisector.
+func (m Multilevel) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	if m.Inner == nil {
+		return nil, fmt.Errorf("core: Multilevel with nil inner bisector")
+	}
+	initial := func(cg *graph.Graph, rr *rng.Rand) *partition.Bisection {
+		b, err := m.Inner.Bisect(cg, rr)
+		if err != nil {
+			return partition.NewRandom(cg, rr)
+		}
+		return b
+	}
+	refine := func(b *partition.Bisection, rr *rng.Rand) {
+		_ = m.Inner.Refine(b, rr)
+	}
+	b, err := coarsen.Multilevel(g, m.Opts, initial, refine, r)
+	if err != nil {
+		return nil, err
+	}
+	partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	return b, nil
+}
+
+// BestOf runs the inner bisector k times on independent random streams
+// and keeps the lowest cut — the paper's best-of-two-starts protocol is
+// BestOf{Inner, 2}.
+type BestOf struct {
+	Inner  Bisector
+	Starts int
+}
+
+// Name implements Bisector.
+func (b BestOf) Name() string { return fmt.Sprintf("%s×%d", b.Inner.Name(), b.Starts) }
+
+// Bisect implements Bisector.
+func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	if b.Inner == nil {
+		return nil, fmt.Errorf("core: BestOf with nil inner bisector")
+	}
+	starts := b.Starts
+	if starts <= 0 {
+		starts = 1
+	}
+	var best *partition.Bisection
+	for i := 0; i < starts; i++ {
+		cand, err := b.Inner.Bisect(g, r)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || cand.Cut() < best.Cut() {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// New returns the named algorithm with default options. Recognized names:
+// random, greedy, kl, sa, fm, ckl, csa, cfm, mlkl, mlfm, spectral.
+func New(name string) (Bisector, error) {
+	switch name {
+	case "random":
+		return Random{}, nil
+	case "greedy":
+		return Greedy{}, nil
+	case "kl":
+		return KL{}, nil
+	case "sa":
+		return SA{}, nil
+	case "fm":
+		return FM{}, nil
+	case "spectral":
+		return Spectral{}, nil
+	case "ckl":
+		return Compacted{Inner: KL{}}, nil
+	case "csa":
+		return Compacted{Inner: SA{}}, nil
+	case "cfm":
+		return Compacted{Inner: FM{}}, nil
+	case "mlkl":
+		return Multilevel{Inner: KL{}}, nil
+	case "mlfm":
+		return Multilevel{Inner: FM{}}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown bisector %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the registry's algorithm names in sorted order.
+func Names() []string {
+	names := []string{"random", "greedy", "kl", "sa", "fm", "ckl", "csa", "cfm", "mlkl", "mlfm", "spectral"}
+	sort.Strings(names)
+	return names
+}
+
+// HeavyEdgeMatch adapts matching.HeavyEdge to coarsen.MatchFunc, for the
+// matching-policy ablation.
+func HeavyEdgeMatch(g *graph.Graph, r *rng.Rand) []int32 { return matching.HeavyEdge(g, r) }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// ParallelBestOf runs the inner bisector from Starts independent random
+// streams concurrently and keeps the best cut. Unlike BestOf (which
+// consumes one stream sequentially), each start gets its own stream split
+// off deterministically up front, so the result is a deterministic
+// function of the seed regardless of scheduling; ties are broken toward
+// the lowest start index.
+type ParallelBestOf struct {
+	Inner Bisector
+	// Starts is the number of independent runs (default 2).
+	Starts int
+	// Workers caps concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// Name implements Bisector.
+func (p ParallelBestOf) Name() string { return fmt.Sprintf("%s∥%d", p.Inner.Name(), p.Starts) }
+
+// Bisect implements Bisector.
+func (p ParallelBestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
+	if p.Inner == nil {
+		return nil, fmt.Errorf("core: ParallelBestOf with nil inner bisector")
+	}
+	starts := p.Starts
+	if starts <= 0 {
+		starts = 2
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > starts {
+		workers = starts
+	}
+	// Deterministic stream fan-out before any concurrency.
+	streams := make([]*rng.Rand, starts)
+	for i := range streams {
+		streams[i] = r.Split()
+	}
+
+	results := make([]*partition.Bisection, starts)
+	errs := make([]error, starts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < starts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = p.Inner.Bisect(g, streams[i])
+		}(i)
+	}
+	wg.Wait()
+	var best *partition.Bisection
+	for i := 0; i < starts; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if best == nil || results[i].Cut() < best.Cut() {
+			best = results[i]
+		}
+	}
+	return best, nil
+}

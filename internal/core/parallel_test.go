@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestParallelBestOfDeterministic(t *testing.T) {
+	g := mustGraph(gen.BReg(200, 8, 3, rng.NewFib(1)))
+	p := ParallelBestOf{Inner: KL{}, Starts: 4}
+	a, err := p.Bisect(g, rng.NewFib(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bisect(g, rng.NewFib(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cut() != b.Cut() {
+		t.Fatalf("same seed, cuts %d vs %d", a.Cut(), b.Cut())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelBestOfQuality(t *testing.T) {
+	g := mustGraph(gen.BReg(300, 8, 3, rng.NewFib(2)))
+	single, err := KL{}.Bisect(g, rng.NewFib(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := ParallelBestOf{Inner: KL{}, Starts: 8}.Bisect(g, rng.NewFib(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not guaranteed per-seed, but 8 independent starts essentially never
+	// lose to the single run drawn from the first split of the same seed.
+	if multi.Cut() > 3*single.Cut() {
+		t.Fatalf("parallel best-of-8 cut %d wildly worse than single %d", multi.Cut(), single.Cut())
+	}
+}
+
+func TestParallelBestOfDefaultsAndErrors(t *testing.T) {
+	g := mustGraph(gen.Cycle(16))
+	if _, err := (ParallelBestOf{}).Bisect(g, rng.NewFib(1)); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+	// Zero starts defaults to 2; workers default to GOMAXPROCS.
+	b, err := ParallelBestOf{Inner: KL{}}.Bisect(g, rng.NewFib(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains((ParallelBestOf{Inner: KL{}, Starts: 3}).Name(), "kl") {
+		t.Fatal("name missing inner")
+	}
+}
+
+func TestParallelBestOfWorkersCap(t *testing.T) {
+	g := mustGraph(gen.Grid(8, 8))
+	b, err := ParallelBestOf{Inner: KL{}, Starts: 5, Workers: 2}.Bisect(g, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Imbalance() != 0 {
+		t.Fatalf("imbalance %d", b.Imbalance())
+	}
+}

@@ -1,0 +1,51 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// IsCycleCollection reports whether g is a disjoint union of simple
+// cycles, i.e. 2-regular. (Under the 𝒢breg model every degree-2 graph has
+// this form, as Section VI of the paper observes.)
+func IsCycleCollection(g *graph.Graph) bool {
+	return g.N() > 0 && g.IsRegular(2)
+}
+
+// CycleCollectionWidth computes the exact bisection width of a disjoint
+// union of cycles in O(n·#cycles) ⊆ O(n²) time:
+//
+//   - 0 if some subset of whole cycles has total size exactly n/2
+//     (subset-sum over the cycle sizes);
+//   - 2 otherwise: take a maximal non-overshooting subset of whole
+//     cycles; the deficit r is positive and smaller than some unused
+//     cycle, so cutting an r-vertex arc out of that cycle costs exactly 2
+//     edges (and no bisection of a 2-regular graph can cut exactly 1
+//     edge, since every cut of a cycle has even size).
+//
+// The graph must be 2-regular with an even vertex count.
+func CycleCollectionWidth(g *graph.Graph) (int64, error) {
+	if !IsCycleCollection(g) {
+		return 0, fmt.Errorf("exact: graph is not a disjoint union of cycles")
+	}
+	if g.N()%2 != 0 {
+		return 0, fmt.Errorf("exact: odd vertex count %d", g.N())
+	}
+	sizes := g.ComponentSizes()
+	half := g.N() / 2
+	// Subset-sum DP over cycle sizes.
+	reach := make([]bool, half+1)
+	reach[0] = true
+	for _, s := range sizes {
+		for t := half; t >= s; t-- {
+			if reach[t-s] {
+				reach[t] = true
+			}
+		}
+	}
+	if reach[half] {
+		return 0, nil
+	}
+	return 2, nil
+}

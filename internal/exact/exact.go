@@ -1,0 +1,125 @@
+// Package exact provides exact minimum-bisection solvers used to validate
+// the heuristics:
+//
+//   - BisectionWidth: branch-and-bound exhaustive search, feasible up to
+//     roughly 28 vertices;
+//   - CycleCollectionWidth: the O(n²) exact algorithm for disjoint unions
+//     of cycles (every 2-regular graph), the degree-2 case the paper
+//     notes "one could solve exactly in time O(n²)".
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// MaxBruteForceVertices bounds BisectionWidth's exhaustive search.
+const MaxBruteForceVertices = 28
+
+// BisectionWidth computes the exact minimum bisection width of g and a
+// witness side assignment. The graph must have an even number of
+// vertices, at most MaxBruteForceVertices. Vertex weights must be uniform
+// (the notion of "equal halves" used is vertex count, as in the paper).
+func BisectionWidth(g *graph.Graph) (int64, []uint8, error) {
+	n := g.N()
+	if n%2 != 0 {
+		return 0, nil, fmt.Errorf("exact: graph has odd vertex count %d", n)
+	}
+	if n > MaxBruteForceVertices {
+		return 0, nil, fmt.Errorf("exact: %d vertices exceeds brute-force limit %d", n, MaxBruteForceVertices)
+	}
+	if n == 0 {
+		return 0, []uint8{}, nil
+	}
+	s := &bbState{
+		g:    g,
+		side: make([]uint8, n),
+		best: int64(1) << 62,
+	}
+	// Fix vertex 0 on side 0 to kill the mirror symmetry.
+	s.side[0] = 0
+	s.assign(1, 1, 0, 0)
+	if s.bestSide == nil {
+		return 0, nil, fmt.Errorf("exact: search failed (internal error)")
+	}
+	return s.best, s.bestSide, nil
+}
+
+type bbState struct {
+	g        *graph.Graph
+	side     []uint8
+	best     int64
+	bestSide []uint8
+}
+
+// assign places vertex v given n0/n1 vertices already on each side and
+// partial cut weight over edges with both endpoints assigned.
+func (s *bbState) assign(v int, n0, n1 int, cut int64) {
+	n := s.g.N()
+	half := n / 2
+	if cut >= s.best {
+		return // bound: partial cut only grows
+	}
+	if v == n {
+		s.best = cut
+		s.bestSide = append([]uint8(nil), s.side...)
+		return
+	}
+	// Feasibility: each side must be able to reach exactly half.
+	rem := n - v
+	for _, sd := range [2]uint8{0, 1} {
+		cnt := n0
+		if sd == 1 {
+			cnt = n1
+		}
+		if cnt >= half {
+			continue // side full
+		}
+		// The other side must still be fillable.
+		other := n1
+		if sd == 1 {
+			other = n0
+		}
+		if other+rem-1 < half {
+			continue
+		}
+		s.side[v] = sd
+		add := int64(0)
+		for _, e := range s.g.Neighbors(int32(v)) {
+			if int(e.To) < v && s.side[e.To] != sd {
+				add += int64(e.W)
+			}
+		}
+		if sd == 0 {
+			s.assign(v+1, n0+1, n1, cut+add)
+		} else {
+			s.assign(v+1, n0, n1+1, cut+add)
+		}
+	}
+}
+
+// VerifyBisection checks that side is a balanced bisection of g with the
+// claimed cut.
+func VerifyBisection(g *graph.Graph, side []uint8, cut int64) error {
+	if len(side) != g.N() {
+		return fmt.Errorf("exact: side length %d != %d vertices", len(side), g.N())
+	}
+	n0 := 0
+	for _, s := range side {
+		if s > 1 {
+			return fmt.Errorf("exact: invalid side value %d", s)
+		}
+		if s == 0 {
+			n0++
+		}
+	}
+	if n0*2 != g.N() {
+		return fmt.Errorf("exact: unbalanced sides %d/%d", n0, g.N()-n0)
+	}
+	if got := partition.CutOf(g, side); got != cut {
+		return fmt.Errorf("exact: claimed cut %d, actual %d", cut, got)
+	}
+	return nil
+}

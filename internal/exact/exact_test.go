@@ -1,0 +1,194 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestBisectionWidthKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"C6", mustGraph(gen.Cycle(6)), 2},
+		{"C12", mustGraph(gen.Cycle(12)), 2},
+		{"P8", mustGraph(gen.Path(8)), 1},
+		{"K4", mustGraph(gen.Complete(4)), 4},              // 2x2 split: 2*2 = 4 edges
+		{"K6", mustGraph(gen.Complete(6)), 9},              // 3x3 split: 3*3
+		{"K33", mustGraph(gen.CompleteBipartite(3, 3)), 5}, // best balanced split of K_{3,3}
+		{"Grid4x4", mustGraph(gen.Grid(4, 4)), 4},
+		{"Ladder8", mustGraph(gen.Ladder(8)), 2},
+		{"Q3", mustGraph(gen.Hypercube(3)), 4},
+		{"2K3", mustGraph(gen.CycleCollection([]int{3, 3})), 0},
+		{"empty4", graph.NewBuilder(4).MustBuild(), 0},
+	}
+	for _, tc := range cases {
+		got, side, err := BisectionWidth(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: width %d, want %d", tc.name, got, tc.want)
+		}
+		if err := VerifyBisection(tc.g, side, got); err != nil {
+			t.Errorf("%s: witness invalid: %v", tc.name, err)
+		}
+	}
+}
+
+func TestBisectionWidthEmptyAndErrors(t *testing.T) {
+	w, side, err := BisectionWidth(graph.NewBuilder(0).MustBuild())
+	if err != nil || w != 0 || len(side) != 0 {
+		t.Fatalf("empty graph: %d %v %v", w, side, err)
+	}
+	if _, _, err := BisectionWidth(mustGraph(gen.Path(5))); err == nil {
+		t.Fatal("odd vertex count accepted")
+	}
+	if _, _, err := BisectionWidth(mustGraph(gen.Cycle(30))); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestBisectionWidthIsLowerBoundForAnyBalancedPartition(t *testing.T) {
+	// Property: no random balanced assignment beats the exact optimum.
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 2 * (2 + r.Intn(5)) // 4..12 vertices
+		g, err := gen.GNP(n, 0.4, r)
+		if err != nil {
+			return false
+		}
+		opt, _, err := BisectionWidth(g)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			b := partition.NewRandom(g, r)
+			if b.Cut() < opt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyBisectionErrors(t *testing.T) {
+	g := mustGraph(gen.Cycle(4))
+	if err := VerifyBisection(g, []uint8{0, 0}, 0); err == nil {
+		t.Fatal("short side accepted")
+	}
+	if err := VerifyBisection(g, []uint8{0, 0, 0, 1}, 2); err == nil {
+		t.Fatal("unbalanced accepted")
+	}
+	if err := VerifyBisection(g, []uint8{0, 0, 1, 1}, 99); err == nil {
+		t.Fatal("wrong cut accepted")
+	}
+	if err := VerifyBisection(g, []uint8{0, 0, 1, 2}, 2); err == nil {
+		t.Fatal("bad side value accepted")
+	}
+}
+
+func TestIsCycleCollection(t *testing.T) {
+	if !IsCycleCollection(mustGraph(gen.Cycle(5))) {
+		t.Fatal("cycle not recognized")
+	}
+	if !IsCycleCollection(mustGraph(gen.CycleCollection([]int{3, 4}))) {
+		t.Fatal("collection not recognized")
+	}
+	if IsCycleCollection(mustGraph(gen.Path(4))) {
+		t.Fatal("path recognized as cycles")
+	}
+	if IsCycleCollection(graph.NewBuilder(0).MustBuild()) {
+		t.Fatal("empty graph recognized as cycles")
+	}
+}
+
+func TestCycleCollectionWidth(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		want  int64
+	}{
+		{[]int{6}, 2},          // single cycle must be split
+		{[]int{3, 3}, 0},       // halves are whole cycles
+		{[]int{4, 4}, 0},       //
+		{[]int{3, 5}, 2},       // 8 vertices, no subset sums to 4
+		{[]int{3, 4, 5}, 2},    // half=6 not a subset sum of {3,4,5}
+		{[]int{4, 6}, 2},       // half=5 unreachable
+		{[]int{3, 3, 4, 4}, 0}, // half=7 = 3+4
+	}
+	for _, tc := range cases {
+		g := mustGraph(gen.CycleCollection(tc.sizes))
+		got, err := CycleCollectionWidth(g)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.sizes, err)
+		}
+		// Cross-check small instances against brute force.
+		if g.N() <= 16 {
+			bf, _, err := BisectionWidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bf != got {
+				t.Fatalf("%v: cycle solver %d != brute force %d", tc.sizes, got, bf)
+			}
+		}
+		if got != tc.want && g.N() > 16 {
+			t.Errorf("%v: width %d, want %d", tc.sizes, got, tc.want)
+		}
+	}
+}
+
+func TestCycleCollectionWidthErrors(t *testing.T) {
+	if _, err := CycleCollectionWidth(mustGraph(gen.Path(4))); err == nil {
+		t.Fatal("non-2-regular accepted")
+	}
+	if _, err := CycleCollectionWidth(mustGraph(gen.Cycle(5))); err == nil {
+		t.Fatal("odd vertex count accepted")
+	}
+}
+
+func TestCycleCollectionWidthMatchesBruteForceRandomized(t *testing.T) {
+	// Random small collections, checked against brute force.
+	r := rng.NewFib(6)
+	for trial := 0; trial < 30; trial++ {
+		var sizes []int
+		total := 0
+		for total < 8 || total%2 != 0 {
+			s := 3 + r.Intn(5)
+			sizes = append(sizes, s)
+			total += s
+			if total > 14 {
+				sizes = nil
+				total = 0
+			}
+		}
+		g := mustGraph(gen.CycleCollection(sizes))
+		fast, err := CycleCollectionWidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, _, err := BisectionWidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != slow {
+			t.Fatalf("sizes %v: fast %d != slow %d", sizes, fast, slow)
+		}
+	}
+}

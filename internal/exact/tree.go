@@ -1,0 +1,235 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// treeJoin records one child-join step of the tree DP for witness
+// reconstruction: from[s] packs the decision that produced dp[v][s]
+// after joining child (bit 62 = child on the same side; low bits = the
+// child's own dp index k and the parent's previous index s).
+type treeJoin struct {
+	child int32
+	from  []int64
+}
+
+const (
+	treeSameSideBit = int64(1) << 62
+	treeFieldMask   = int64(1)<<31 - 1
+)
+
+func packJoin(sameSide bool, childK, prevS int) int64 {
+	v := int64(childK)<<31 | int64(prevS)
+	if sameSide {
+		v |= treeSameSideBit
+	}
+	return v
+}
+
+func unpackJoin(v int64) (sameSide bool, childK, prevS int) {
+	return v&treeSameSideBit != 0, int((v >> 31) & treeFieldMask), int(v & treeFieldMask)
+}
+
+// TreeBisectionWidth computes the exact minimum bisection width of a
+// forest (acyclic graph) in O(n²) time via the classical tree knapsack
+// DP, together with a witness side assignment.
+//
+// For each vertex v, dp[v][s] is the minimum number of cut edges within
+// v's subtree given that exactly s of the subtree's vertices lie on v's
+// own side. Joining a child c either keeps the edge (child root on v's
+// side: s+k vertices on v's side) or cuts it (cost +1; the child's k
+// same-side-as-c vertices land on the opposite side, contributing
+// size(c)−k to v's side). Component roots are combined by a final
+// knapsack in which each component may be globally flipped for free.
+//
+// The evaluation uses this to verify optimality of the heuristics' cuts
+// on the binary-tree tables at sizes far beyond the brute-force solver.
+func TreeBisectionWidth(g *graph.Graph) (int64, []uint8, error) {
+	n := g.N()
+	if n == 0 {
+		return 0, []uint8{}, nil
+	}
+	if n%2 != 0 {
+		return 0, nil, fmt.Errorf("exact: odd vertex count %d", n)
+	}
+	if g.M() >= n {
+		return 0, nil, fmt.Errorf("exact: graph with %d edges on %d vertices is not a forest", g.M(), n)
+	}
+	if _, comps := g.Components(); comps != n-g.M() {
+		return 0, nil, fmt.Errorf("exact: graph is not a forest")
+	}
+
+	const inf = int64(1) << 60
+	half := n / 2
+
+	// Rooted orientation + post-order, per component.
+	parent := make([]int32, n)
+	order := make([]int32, 0, n)
+	visited := make([]bool, n)
+	var roots []int32
+	for s := int32(0); int(s) < n; s++ {
+		if visited[s] {
+			continue
+		}
+		roots = append(roots, s)
+		parent[s] = -1
+		stack := []int32{s}
+		visited[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			order = append(order, v)
+			for _, e := range g.Neighbors(v) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					parent[e.To] = v
+					stack = append(stack, e.To)
+				}
+			}
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	dp := make([][]int64, n)
+	size := make([]int, n)
+	joins := make([][]treeJoin, n)
+
+	for _, v := range order {
+		dp[v] = []int64{inf, 0}
+		size[v] = 1
+		for _, e := range g.Neighbors(v) {
+			c := e.To
+			if parent[c] != v || c == v {
+				continue
+			}
+			ns := size[v] + size[c]
+			next := make([]int64, ns+1)
+			from := make([]int64, ns+1)
+			for i := range next {
+				next[i] = inf
+				from[i] = -1
+			}
+			for s := 1; s <= size[v]; s++ {
+				if dp[v][s] >= inf {
+					continue
+				}
+				for k := 1; k <= size[c]; k++ {
+					if dp[c][k] >= inf {
+						continue
+					}
+					if cost := dp[v][s] + dp[c][k]; cost < next[s+k] {
+						next[s+k] = cost
+						from[s+k] = packJoin(true, k, s)
+					}
+					if cost := dp[v][s] + dp[c][k] + 1; cost < next[s+size[c]-k] {
+						next[s+size[c]-k] = cost
+						from[s+size[c]-k] = packJoin(false, k, s)
+					}
+				}
+			}
+			dp[v] = next
+			size[v] += size[c]
+			joins[v] = append(joins[v], treeJoin{child: c, from: from})
+		}
+	}
+
+	// Knapsack over component roots: taking s side-0 vertices from the
+	// component of root rt costs dp[rt][s] with the root on side 0, or
+	// dp[rt][size−s] with the root on side 1.
+	type rootChoice struct {
+		s        int
+		rootSide uint8
+		k        int
+	}
+	total := 0
+	acc := []int64{0}
+	choices := make([][]rootChoice, len(roots))
+	for ri, rt := range roots {
+		nt := total + size[rt]
+		next := make([]int64, nt+1)
+		ch := make([]rootChoice, nt+1)
+		for i := range next {
+			next[i] = inf
+		}
+		for t := 0; t <= total; t++ {
+			if acc[t] >= inf {
+				continue
+			}
+			for s := 0; s <= size[rt]; s++ {
+				if s >= 1 && s < len(dp[rt]) && dp[rt][s] < inf {
+					if cost := acc[t] + dp[rt][s]; cost < next[t+s] {
+						next[t+s] = cost
+						ch[t+s] = rootChoice{s: s, rootSide: 0, k: s}
+					}
+				}
+				if k := size[rt] - s; k >= 1 && dp[rt][k] < inf {
+					if cost := acc[t] + dp[rt][k]; cost < next[t+s] {
+						next[t+s] = cost
+						ch[t+s] = rootChoice{s: s, rootSide: 1, k: k}
+					}
+				}
+			}
+		}
+		acc = next
+		choices[ri] = ch
+		total = nt
+	}
+	if acc[half] >= inf {
+		return 0, nil, fmt.Errorf("exact: internal error: no feasible bisection found")
+	}
+
+	// Reconstruct.
+	side := make([]uint8, n)
+	t := half
+	rootK := make([]int, len(roots))
+	rootSide := make([]uint8, len(roots))
+	for ri := len(roots) - 1; ri >= 0; ri-- {
+		ch := choices[ri][t]
+		rootK[ri] = ch.k
+		rootSide[ri] = ch.rootSide
+		t -= ch.s
+	}
+	for ri, rt := range roots {
+		assignSubtree(joins, rt, rootK[ri], rootSide[ri], side)
+	}
+
+	cut := acc[half]
+	if err := VerifyBisection(g, side, cut); err != nil {
+		return 0, nil, fmt.Errorf("exact: witness reconstruction failed: %v", err)
+	}
+	return cut, side, nil
+}
+
+// assignSubtree reconstructs v's subtree assignment given that k subtree
+// vertices share v's side vSide.
+func assignSubtree(joins [][]treeJoin, v int32, k int, vSide uint8, side []uint8) {
+	side[v] = vSide
+	type frame struct {
+		child    int32
+		childK   int
+		sameSide bool
+	}
+	frames := make([]frame, 0, len(joins[v]))
+	s := k
+	for ji := len(joins[v]) - 1; ji >= 0; ji-- {
+		j := joins[v][ji]
+		packed := j.from[s]
+		if packed < 0 {
+			panic("exact: broken tree DP reconstruction")
+		}
+		sameSide, ck, ps := unpackJoin(packed)
+		frames = append(frames, frame{child: j.child, childK: ck, sameSide: sameSide})
+		s = ps
+	}
+	for _, f := range frames {
+		cs := vSide
+		if !f.sameSide {
+			cs = 1 - vSide
+		}
+		assignSubtree(joins, f.child, f.childK, cs, side)
+	}
+}

@@ -1,0 +1,167 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestTreeBisectionWidthKnownTrees(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"P2", mustGraph(gen.Path(2)), 1},
+		{"P8", mustGraph(gen.Path(8)), 1},
+		{"P100", mustGraph(gen.Path(100)), 1},
+		// Star on 8 vertices: the 4 leaves opposite the center are cut.
+		{"star8", star(8), 4},
+		// Heap-shaped trees whose root edge splits them exactly in half.
+		{"btree254", mustGraph(gen.CompleteBinaryTree(254)), 1},
+		{"btree1022", mustGraph(gen.CompleteBinaryTree(1022)), 1},
+		{"btree2046", mustGraph(gen.CompleteBinaryTree(2046)), 1},
+		// Two disjoint paths of equal length: cut 0.
+		{"2paths", twoPaths(10), 0},
+		// Edgeless forest.
+		{"isolated", graph.NewBuilder(6).MustBuild(), 0},
+	}
+	for _, tc := range cases {
+		got, side, err := TreeBisectionWidth(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: width %d, want %d", tc.name, got, tc.want)
+		}
+		if err := VerifyBisection(tc.g, side, got); err != nil {
+			t.Errorf("%s: witness: %v", tc.name, err)
+		}
+	}
+}
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.MustBuild()
+}
+
+func twoPaths(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i+1 < k; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+		b.AddEdge(int32(k+i), int32(k+i+1))
+	}
+	return b.MustBuild()
+}
+
+// randomForest builds a random forest on n vertices: each vertex v > 0
+// attaches to a random earlier vertex with probability attach.
+func randomForest(n int, attach float64, r *rng.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		if r.Float64() < attach {
+			b.AddEdge(int32(v), int32(r.Intn(v)))
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestTreeBisectionWidthMatchesBruteForce(t *testing.T) {
+	r := rng.NewFib(17)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 * (2 + r.Intn(7)) // 4..16 vertices
+		g := randomForest(n, 0.8, r)
+		fast, side, err := TreeBisectionWidth(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		slow, _, err := BisectionWidth(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if fast != slow {
+			t.Fatalf("trial %d (n=%d): tree DP %d != brute force %d", trial, n, fast, slow)
+		}
+		if err := VerifyBisection(g, side, fast); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestTreeBisectionWidthCaterpillars(t *testing.T) {
+	r := rng.NewFib(23)
+	for _, tc := range []struct{ spine, legs int }{{4, 1}, {5, 3}, {10, 1}} {
+		g, err := gen.Caterpillar(tc.spine, tc.legs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N()%2 != 0 {
+			continue
+		}
+		fast, _, err := TreeBisectionWidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() <= MaxBruteForceVertices {
+			slow, _, err := BisectionWidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast != slow {
+				t.Fatalf("caterpillar(%d,%d): %d != %d", tc.spine, tc.legs, fast, slow)
+			}
+		}
+	}
+	_ = r
+}
+
+func TestTreeBisectionWidthErrors(t *testing.T) {
+	if _, _, err := TreeBisectionWidth(mustGraph(gen.Path(5))); err == nil {
+		t.Fatal("odd n accepted")
+	}
+	if _, _, err := TreeBisectionWidth(mustGraph(gen.Cycle(6))); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	// Forest edge count but with a cycle: C3 + isolated vertex has m=3 = n-1.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	if _, _, err := TreeBisectionWidth(b.MustBuild()); err == nil {
+		t.Fatal("triangle+isolated accepted as forest")
+	}
+	w, side, err := TreeBisectionWidth(graph.NewBuilder(0).MustBuild())
+	if err != nil || w != 0 || len(side) != 0 {
+		t.Fatalf("empty: %d %v %v", w, side, err)
+	}
+}
+
+func TestTreeBisectionWidthLargeTree(t *testing.T) {
+	// 4094-node complete binary tree: optimal 1, computed in O(n²).
+	g := mustGraph(gen.CompleteBinaryTree(4094))
+	w, side, err := TreeBisectionWidth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Fatalf("width %d, want 1", w)
+	}
+	if err := VerifyBisection(g, side, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeBisectionWidth1022(b *testing.B) {
+	g := mustGraph(gen.CompleteBinaryTree(1022))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TreeBisectionWidth(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package fm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPassNeverIncreasesCut(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 2 * (2 + r.Intn(25))
+		g, err := gen.GNP(n, 0.2, r)
+		if err != nil {
+			return false
+		}
+		b := partition.NewRandom(g, r)
+		before := b.Cut()
+		imp, _, err := Pass(b, Options{})
+		if err != nil {
+			return false
+		}
+		if b.Validate() != nil {
+			return false
+		}
+		return b.Cut() == before-imp && imp >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassRespectsBalanceTolerance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 2 * (3 + r.Intn(20))
+		g, err := gen.GNP(n, 0.25, r)
+		if err != nil {
+			return false
+		}
+		b := partition.NewRandom(g, r) // balanced (imbalance 0)
+		if _, err := Refine(b, Options{}); err != nil {
+			return false
+		}
+		// Default tolerance for unit weights is 1, and n is even, so the
+		// parity of the imbalance is preserved: it must come back to 0.
+		return b.Imbalance() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineFindsOptimumOnSmallGraphs(t *testing.T) {
+	r := rng.NewFib(42)
+	for trial := 0; trial < 15; trial++ {
+		n := 2 * (3 + r.Intn(4))
+		g, err := gen.GNP(n, 0.5, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := exact.BisectionWidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := int64(1) << 62
+		for start := 0; start < 8; start++ {
+			b, _, err := Run(g, Options{}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Only count balanced outcomes against the balanced optimum.
+			if b.Imbalance() == 0 && b.Cut() < best {
+				best = b.Cut()
+			}
+		}
+		if best < opt {
+			t.Fatalf("trial %d: FM cut %d below proven optimum %d", trial, best, opt)
+		}
+		if best > opt {
+			t.Logf("trial %d (n=%d): FM best-of-8 %d vs optimum %d", trial, n, best, opt)
+		}
+	}
+}
+
+func TestRefineImprovesMisplacedCliques(t *testing.T) {
+	// Same worked example as the KL test: FM must also reach cut 0,
+	// using two single moves (which transiently unbalance by 2) or a
+	// balanced sequence.
+	b := graph.NewBuilder(8)
+	for _, c := range [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7}} {
+		b.AddEdge(c[0], c[1])
+	}
+	g := b.MustBuild()
+	bis, err := partition.New(g, []uint8{0, 0, 0, 1, 1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(bis, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if bis.Cut() != 0 {
+		t.Fatalf("FM final cut %d, want 0", bis.Cut())
+	}
+	if bis.Imbalance() != 0 {
+		t.Fatalf("FM final imbalance %d", bis.Imbalance())
+	}
+}
+
+func TestRefineRepairsUnbalancedInput(t *testing.T) {
+	// FM with everything on one side: repair moves are admissible because
+	// they shrink the imbalance, so FM must end within tolerance.
+	g := mustGraph(gen.Cycle(12))
+	bis, err := partition.New(g, make([]uint8, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(bis, Options{MaxImbalance: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if bis.Imbalance() > 1 {
+		t.Fatalf("FM left imbalance %d", bis.Imbalance())
+	}
+	if err := bis.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineMaxPasses(t *testing.T) {
+	r := rng.NewFib(6)
+	g, err := gen.BReg(300, 8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := partition.NewRandom(g, r)
+	st, err := Refine(b, Options{MaxPasses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Passes > 2 {
+		t.Fatalf("passes = %d", st.Passes)
+	}
+}
+
+func TestRunOnEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).MustBuild()
+	b, _, err := Run(g, Options{}, rng.NewFib(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cut() != 0 {
+		t.Fatal("nonzero cut on empty graph")
+	}
+}
+
+func TestWeightedVerticesRespectTolerance(t *testing.T) {
+	// Vertices of weight 2 with tolerance 2.
+	bld := graph.NewBuilder(6)
+	bld.AddEdge(0, 3)
+	bld.AddEdge(1, 4)
+	bld.AddEdge(2, 5)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(3, 4)
+	for v := int32(0); v < 6; v++ {
+		bld.SetVertexWeight(v, 2)
+	}
+	g := bld.MustBuild()
+	bis, err := partition.New(g, []uint8{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(bis, Options{MaxImbalance: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if bis.Imbalance() > 2 {
+		t.Fatalf("imbalance %d exceeds tolerance 2", bis.Imbalance())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if (Stats{}).String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+func BenchmarkFMBReg2000D3(b *testing.B) {
+	r := rng.NewFib(1)
+	g, err := gen.BReg(2000, 16, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(g, Options{}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

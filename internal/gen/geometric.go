@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Geometric samples a random geometric graph: n points uniform in the
+// unit square, an edge between every pair at Euclidean distance ≤ radius.
+// Geometric graphs have genuinely small balanced separators (width
+// Θ(√n·radius·n) along a line cut), so unlike 𝒢np they reward good
+// partitioners — a standard modern benchmark family complementing the
+// paper's models.
+func Geometric(n int, radius float64, r *rng.Rand) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gen: Geometric with negative n=%d", n)
+	}
+	if radius < 0 || radius > math.Sqrt2 {
+		return nil, fmt.Errorf("gen: Geometric radius %v outside [0, √2]", radius)
+	}
+	type pt struct {
+		x, y float64
+		id   int32
+	}
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{x: r.Float64(), y: r.Float64(), id: int32(i)}
+	}
+	// Grid-bucket the points at cell size = radius so each point compares
+	// only against its 3×3 neighborhood: O(n + edges) in expectation.
+	b := graph.NewBuilder(n)
+	if radius == 0 {
+		return b.Build()
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]pt)
+	key := func(p pt) [2]int {
+		cx, cy := int(p.x*float64(cells)), int(p.y*float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return [2]int{cx, cy}
+	}
+	for _, p := range pts {
+		k := key(p)
+		bucket[k] = append(bucket[k], p)
+	}
+	r2 := radius * radius
+	for k, ps := range bucket {
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nk := [2]int{k[0] + dx, k[1] + dy}
+				// Each unordered cell pair is visited from both sides;
+				// process it only in the canonical direction (and within a
+				// cell, once per point pair) so every edge is added once.
+				if nk[0] < k[0] || (nk[0] == k[0] && nk[1] < k[1]) {
+					continue
+				}
+				sameCell := nk == k
+				qs, ok := bucket[nk]
+				if !ok {
+					continue
+				}
+				for _, p := range ps {
+					for _, q := range qs {
+						if sameCell && p.id >= q.id {
+							continue
+						}
+						ddx, ddy := p.x-q.x, p.y-q.y
+						if ddx*ddx+ddy*ddy <= r2 {
+							b.AddEdge(p.id, q.id)
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// GeometricRadiusForAvgDegree returns the radius giving a geometric graph
+// the target expected average degree: deg ≈ n·π·r² (ignoring boundary
+// effects, which depress the realized degree slightly).
+func GeometricRadiusForAvgDegree(n int, avgDeg float64) (float64, error) {
+	if n <= 1 || avgDeg < 0 {
+		return 0, fmt.Errorf("gen: GeometricRadiusForAvgDegree(n=%d, deg=%v) infeasible", n, avgDeg)
+	}
+	r := math.Sqrt(avgDeg / (math.Pi * float64(n-1)))
+	if r > math.Sqrt2 {
+		return 0, fmt.Errorf("gen: average degree %v unreachable with %d vertices", avgDeg, n)
+	}
+	return r, nil
+}

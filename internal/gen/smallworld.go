@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// WattsStrogatz samples a small-world graph: a ring lattice on n vertices
+// where each vertex connects to its k nearest neighbors (k even), with
+// each edge's far endpoint rewired to a uniform random vertex with
+// probability beta. beta = 0 is the pure lattice (large bisection-width
+// structure like a cycle), beta = 1 approaches a random graph; in between
+// the family interpolates between the paper's structured and random
+// models — shortcut edges are exactly what defeats locality-based
+// heuristics.
+func WattsStrogatz(n, k int, beta float64, r *rng.Rand) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs n ≥ 3, got %d", n)
+	}
+	if k < 2 || k%2 != 0 || k >= n {
+		return nil, fmt.Errorf("gen: WattsStrogatz degree k=%d must be even in [2, n)", k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz beta %v outside [0,1]", beta)
+	}
+	// Edge set as a map for O(1) duplicate checks during rewiring.
+	type ekey struct{ u, v int32 }
+	mk := func(u, v int32) ekey {
+		if u > v {
+			u, v = v, u
+		}
+		return ekey{u, v}
+	}
+	edges := make(map[ekey]struct{}, n*k/2)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			edges[mk(int32(v), int32((v+j)%n))] = struct{}{}
+		}
+	}
+	// Rewire: visit the lattice edges in canonical order (deterministic).
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := int32(v)
+			w := int32((v + j) % n)
+			key := mk(u, w)
+			if _, alive := edges[key]; !alive {
+				continue // already rewired away by an earlier step
+			}
+			if r.Float64() >= beta {
+				continue
+			}
+			// Try a few times to find a non-degenerate target.
+			for attempt := 0; attempt < 32; attempt++ {
+				t := int32(r.Intn(n))
+				if t == u {
+					continue
+				}
+				nk := mk(u, t)
+				if _, dup := edges[nk]; dup {
+					continue
+				}
+				delete(edges, key)
+				edges[nk] = struct{}{}
+				break
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for e := range edges {
+		b.AddEdge(e.u, e.v)
+	}
+	return b.Build()
+}

@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: exact ring lattice, k-regular, n·k/2 edges.
+	g, err := WattsStrogatz(40, 4, 0, rng.NewFib(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsRegular(4) {
+		t.Fatalf("beta=0 lattice not 4-regular: %v", g.DegreeHistogram())
+	}
+	if g.M() != 80 {
+		t.Fatalf("m=%d, want 80", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("lattice disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatzRewiring(t *testing.T) {
+	// beta = 0.5: edge count preserved (rewiring moves, never deletes,
+	// except for the rare 32-attempt failure), structure randomized.
+	g, err := WattsStrogatz(200, 6, 0.5, rng.NewFib(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() < 590 || g.M() > 600 {
+		t.Fatalf("m=%d, want ~600", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Some lattice edges must have been rewired.
+	latticeEdges := 0
+	g.Edges(func(u, v, _ int32) {
+		d := int(v - u)
+		if d > 100 {
+			d = 200 - d
+		}
+		if d <= 3 {
+			latticeEdges++
+		}
+	})
+	if latticeEdges == g.M() {
+		t.Fatal("beta=0.5 rewired nothing")
+	}
+}
+
+func TestWattsStrogatzShortcutsRaiseCut(t *testing.T) {
+	// The small-world effect on bisection: a few shortcuts raise the
+	// (heuristically found) bisection width far above the lattice's.
+	// Structural proxy: mean BFS eccentricity collapses.
+	lattice, err := WattsStrogatz(400, 4, 0, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := WattsStrogatz(400, 4, 0.2, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Eccentricity(0) >= lattice.Eccentricity(0) {
+		t.Fatalf("shortcuts did not shrink eccentricity: %d vs %d",
+			small.Eccentricity(0), lattice.Eccentricity(0))
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	r := rng.NewFib(1)
+	if _, err := WattsStrogatz(2, 2, 0, r); err == nil {
+		t.Fatal("n<3 accepted")
+	}
+	if _, err := WattsStrogatz(10, 3, 0, r); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	if _, err := WattsStrogatz(10, 10, 0, r); err == nil {
+		t.Fatal("k>=n accepted")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, r); err == nil {
+		t.Fatal("beta>1 accepted")
+	}
+}
+
+func TestWattsStrogatzDeterministic(t *testing.T) {
+	a, err := WattsStrogatz(100, 4, 0.3, rng.NewFib(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WattsStrogatz(100, 4, 0.3, rng.NewFib(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed: %d vs %d edges", a.M(), b.M())
+	}
+	same := true
+	a.Edges(func(u, v, _ int32) {
+		if !b.HasEdge(u, v) {
+			same = false
+		}
+	})
+	if !same {
+		t.Fatal("same seed produced different graphs")
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parsers must never panic and must only return graphs
+// that pass Validate. Run with `go test -fuzz FuzzReadEdgeList` for a
+// fuzzing session; under plain `go test` the seed corpus acts as a unit
+// test.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("graph 3 2\ne 0 1\ne 1 2\n")
+	f.Add("graph 2 1 vweights\nv 0 5\nv 1 2\ne 0 1 7\n")
+	f.Add("# comment\n\ngraph 0 0\n")
+	f.Add("graph 1 0\n")
+	f.Add("e 0 1\n")
+	f.Add("graph -1 0\n")
+	f.Add("graph 99999999999999999999 0\n")
+	f.Add("graph 2 1\ne 0 1\ne 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid graph: %v\ninput: %q", verr, in)
+		}
+		// Round trip must succeed and agree.
+		var buf bytes.Buffer
+		if werr := WriteEdgeList(&buf, g); werr != nil {
+			t.Fatalf("write-back failed: %v", werr)
+		}
+		g2, rerr := ReadEdgeList(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip parse failed: %v", rerr)
+		}
+		if !graphsEqual(g, g2) {
+			t.Fatalf("round trip changed the graph for %q", in)
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 2\n2\n1 3\n2\n")
+	f.Add("2 1 1\n2 5\n1 5\n")
+	f.Add("2 1 11 1\n1 2 3\n1 1 3\n")
+	f.Add("% comment\n1 0\n\n")
+	f.Add("0 0\n")
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("METIS parser accepted invalid graph: %v\ninput: %q", verr, in)
+		}
+	})
+}
+
+func FuzzUnmarshalGraph(f *testing.F) {
+	f.Add(`{"n":3,"edges":[[0,1,1],[1,2,2]]}`)
+	f.Add(`{"n":2,"vertexWeights":[3,4],"edges":[[0,1,1]]}`)
+	f.Add(`{}`)
+	f.Add(`{"n":-5}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := UnmarshalGraph([]byte(in))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("JSON parser accepted invalid graph: %v\ninput: %q", verr, in)
+		}
+	})
+}

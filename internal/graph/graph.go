@@ -1,0 +1,350 @@
+// Package graph provides the weighted undirected graph substrate used by
+// every algorithm in the repository.
+//
+// Graphs are simple (no self-loops, no parallel edges) but carry integer
+// edge weights and vertex weights, because the compaction heuristic of the
+// paper contracts matchings: contracting an edge merges parallel edges
+// into a single weighted edge and adds the endpoint vertex weights. Plain
+// input graphs have all weights equal to one, so the weighted cut of an
+// uncontracted graph equals the paper's unweighted cut.
+//
+// Vertices are identified by dense indices 0..N()-1 of type int32 (the
+// paper's instances are thousands of vertices; int32 halves the memory of
+// the adjacency structure and keeps it cache-friendly).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a half-edge: the head vertex and the weight of the connecting
+// edge. Each undirected edge {u,v} appears once in u's list and once in
+// v's list with equal weight.
+type Edge struct {
+	To int32
+	W  int32
+}
+
+// Graph is an immutable weighted undirected simple graph. Construct one
+// with a Builder or a generator from internal/gen.
+type Graph struct {
+	adj  [][]Edge
+	vw   []int32
+	m    int   // number of undirected edges
+	ew   int64 // total edge weight
+	vwUp int64 // total vertex weight
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// TotalEdgeWeight returns the sum of weights over undirected edges.
+func (g *Graph) TotalEdgeWeight() int64 { return g.ew }
+
+// TotalVertexWeight returns the sum of all vertex weights.
+func (g *Graph) TotalVertexWeight() int64 { return g.vwUp }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+
+// WeightedDegree returns the sum of edge weights incident to v.
+func (g *Graph) WeightedDegree(v int32) int64 {
+	var s int64
+	for _, e := range g.adj[v] {
+		s += int64(e.W)
+	}
+	return s
+}
+
+// Neighbors returns v's adjacency list. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Neighbors(v int32) []Edge { return g.adj[v] }
+
+// VertexWeight returns the weight of v (1 for plain graphs).
+func (g *Graph) VertexWeight(v int32) int32 {
+	if g.vw == nil {
+		return 1
+	}
+	return g.vw[v]
+}
+
+// Weighted reports whether the graph carries non-unit vertex weights.
+func (g *Graph) Weighted() bool { return g.vw != nil }
+
+// AvgDegree returns the average (unweighted) vertex degree, 2M/N.
+func (g *Graph) AvgDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// HasEdge reports whether {u,v} is an edge. O(min(deg u, deg v)).
+func (g *Graph) HasEdge(u, v int32) bool {
+	return g.EdgeWeight(u, v) != 0
+}
+
+// EdgeWeight returns the weight of edge {u,v}, or 0 if absent.
+func (g *Graph) EdgeWeight(u, v int32) int32 {
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, u, v = g.adj[v], v, u
+	}
+	for _, e := range a {
+		if e.To == v {
+			return e.W
+		}
+	}
+	return 0
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges calls fn once per undirected edge {u,v} with u < v.
+func (g *Graph) Edges(fn func(u, v int32, w int32)) {
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if int32(u) < e.To {
+				fn(int32(u), e.To, e.W)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{m: g.m, ew: g.ew, vwUp: g.vwUp}
+	c.adj = make([][]Edge, len(g.adj))
+	for v := range g.adj {
+		c.adj[v] = append([]Edge(nil), g.adj[v]...)
+	}
+	if g.vw != nil {
+		c.vw = append([]int32(nil), g.vw...)
+	}
+	return c
+}
+
+// Validate checks the structural invariants: adjacency symmetry with equal
+// weights, no self-loops, no parallel edges, positive weights, and
+// consistent cached totals. It returns the first violation found.
+func (g *Graph) Validate() error {
+	var m int
+	var ew int64
+	for u := range g.adj {
+		seen := make(map[int32]bool, len(g.adj[u]))
+		for _, e := range g.adj[u] {
+			if e.To < 0 || int(e.To) >= g.N() {
+				return fmt.Errorf("graph: vertex %d has neighbor %d out of range [0,%d)", u, e.To, g.N())
+			}
+			if e.To == int32(u) {
+				return fmt.Errorf("graph: self-loop at vertex %d", u)
+			}
+			if e.W <= 0 {
+				return fmt.Errorf("graph: non-positive weight %d on edge {%d,%d}", e.W, u, e.To)
+			}
+			if seen[e.To] {
+				return fmt.Errorf("graph: parallel edge {%d,%d}", u, e.To)
+			}
+			seen[e.To] = true
+			if w := g.EdgeWeight(e.To, int32(u)); w != e.W {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}: %d vs %d", u, e.To, e.W, w)
+			}
+			if int32(u) < e.To {
+				m++
+				ew += int64(e.W)
+			}
+		}
+	}
+	if m != g.m {
+		return fmt.Errorf("graph: cached edge count %d != actual %d", g.m, m)
+	}
+	if ew != g.ew {
+		return fmt.Errorf("graph: cached edge weight %d != actual %d", g.ew, ew)
+	}
+	var vw int64
+	for v := int32(0); int(v) < g.N(); v++ {
+		w := g.VertexWeight(v)
+		if w <= 0 {
+			return fmt.Errorf("graph: non-positive vertex weight %d at vertex %d", w, v)
+		}
+		vw += int64(w)
+	}
+	if vw != g.vwUp {
+		return fmt.Errorf("graph: cached vertex weight %d != actual %d", g.vwUp, vw)
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d avgdeg=%.2f}", g.N(), g.M(), g.AvgDegree())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// insertions of the same undirected edge are merged by summing weights
+// (this is what contraction needs); self-loops are rejected at Build time
+// unless dropped with AddEdgeSafe-style pre-checks by the caller.
+type Builder struct {
+	n   int
+	vw  []int32
+	us  []int32
+	vs  []int32
+	ws  []int32
+	err error
+}
+
+// MaxVertices bounds graph sizes accepted by Builder (and therefore by
+// every parser): 2²² ≈ 4.2M vertices. The cap exists so that malformed
+// or hostile inputs declaring absurd vertex counts fail fast instead of
+// exhausting memory; it is three orders of magnitude above the paper's
+// instances.
+const MaxVertices = 1 << 22
+
+// NewBuilder returns a Builder for a graph on n vertices with unit vertex
+// weights.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		return &Builder{err: fmt.Errorf("graph: negative vertex count %d", n)}
+	}
+	if n > MaxVertices {
+		return &Builder{err: fmt.Errorf("graph: vertex count %d exceeds limit %d", n, MaxVertices)}
+	}
+	return &Builder{n: n}
+}
+
+// SetVertexWeight sets the weight of vertex v. Weights default to 1.
+func (b *Builder) SetVertexWeight(v int32, w int32) {
+	if b.err != nil {
+		return
+	}
+	if v < 0 || int(v) >= b.n {
+		b.err = fmt.Errorf("graph: SetVertexWeight vertex %d out of range [0,%d)", v, b.n)
+		return
+	}
+	if w <= 0 {
+		b.err = fmt.Errorf("graph: SetVertexWeight non-positive weight %d", w)
+		return
+	}
+	if b.vw == nil {
+		b.vw = make([]int32, b.n)
+		for i := range b.vw {
+			b.vw[i] = 1
+		}
+	}
+	b.vw[v] = w
+}
+
+// AddEdge records the undirected unit-weight edge {u,v}.
+func (b *Builder) AddEdge(u, v int32) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge {u,v} with weight w.
+// Repeated insertions of the same pair are merged by summing weights.
+func (b *Builder) AddWeightedEdge(u, v int32, w int32) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		b.err = fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self-loop at vertex %d", u)
+		return
+	}
+	if w <= 0 {
+		b.err = fmt.Errorf("graph: non-positive edge weight %d on {%d,%d}", w, u, v)
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// Build finalizes the graph. It merges duplicate edges, sorts adjacency
+// lists by head vertex, and computes the cached totals.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Sort edge triples by (u, v) to merge duplicates in one pass.
+	idx := make([]int, len(b.us))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		i, j := idx[x], idx[y]
+		if b.us[i] != b.us[j] {
+			return b.us[i] < b.us[j]
+		}
+		return b.vs[i] < b.vs[j]
+	})
+
+	g := &Graph{adj: make([][]Edge, b.n)}
+	deg := make([]int32, b.n)
+	// First pass: merged edge list and degrees.
+	type triple struct{ u, v, w int32 }
+	merged := make([]triple, 0, len(idx))
+	for k := 0; k < len(idx); {
+		i := idx[k]
+		u, v := b.us[i], b.vs[i]
+		var w int64
+		for k < len(idx) && b.us[idx[k]] == u && b.vs[idx[k]] == v {
+			w += int64(b.ws[idx[k]])
+			k++
+		}
+		if w > 1<<30 {
+			return nil, fmt.Errorf("graph: merged weight %d on edge {%d,%d} overflows", w, u, v)
+		}
+		merged = append(merged, triple{u, v, int32(w)})
+		deg[u]++
+		deg[v]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]Edge, 0, deg[v])
+	}
+	for _, t := range merged {
+		g.adj[t.u] = append(g.adj[t.u], Edge{To: t.v, W: t.w})
+		g.adj[t.v] = append(g.adj[t.v], Edge{To: t.u, W: t.w})
+		g.m++
+		g.ew += int64(t.w)
+	}
+	for v := range g.adj {
+		a := g.adj[v]
+		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
+	}
+	if b.vw != nil {
+		g.vw = b.vw
+		for _, w := range b.vw {
+			g.vwUp += int64(w)
+		}
+	} else {
+		g.vwUp = int64(b.n)
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for use in tests and generators
+// whose inputs are validated upstream.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,83 @@
+package graph
+
+import "fmt"
+
+// Induced returns the subgraph induced by the given vertices (which must
+// be distinct and in range) together with the mapping from new to old
+// vertex ids. Vertex weights are preserved; edges with both endpoints in
+// the set are kept with their weights.
+func Induced(g *Graph, vertices []int32) (*Graph, []int32, error) {
+	oldToNew := make(map[int32]int32, len(vertices))
+	newToOld := make([]int32, len(vertices))
+	for i, v := range vertices {
+		if v < 0 || int(v) >= g.N() {
+			return nil, nil, fmt.Errorf("graph: Induced vertex %d out of range [0,%d)", v, g.N())
+		}
+		if _, dup := oldToNew[v]; dup {
+			return nil, nil, fmt.Errorf("graph: Induced duplicate vertex %d", v)
+		}
+		oldToNew[v] = int32(i)
+		newToOld[i] = v
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		if g.Weighted() {
+			b.SetVertexWeight(int32(i), g.VertexWeight(v))
+		}
+		for _, e := range g.Neighbors(v) {
+			if u, ok := oldToNew[e.To]; ok && u > int32(i) {
+				b.AddWeightedEdge(int32(i), u, e.W)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, newToOld, nil
+}
+
+// Permute returns a copy of g with vertices relabeled by perm: new id
+// perm[v] corresponds to old vertex v. perm must be a permutation of
+// [0, N).
+func Permute(g *Graph, perm []int32) (*Graph, error) {
+	if len(perm) != g.N() {
+		return nil, fmt.Errorf("graph: Permute with %d entries for %d vertices", len(perm), g.N())
+	}
+	seen := make([]bool, g.N())
+	for _, p := range perm {
+		if p < 0 || int(p) >= g.N() || seen[p] {
+			return nil, fmt.Errorf("graph: Permute argument is not a permutation")
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		if g.Weighted() {
+			b.SetVertexWeight(perm[v], g.VertexWeight(v))
+		}
+	}
+	g.Edges(func(u, v, w int32) {
+		b.AddWeightedEdge(perm[u], perm[v], w)
+	})
+	return b.Build()
+}
+
+// Union returns the disjoint union of a and b: b's vertices are shifted
+// by a.N().
+func Union(a, b *Graph) (*Graph, error) {
+	nb := NewBuilder(a.N() + b.N())
+	weighted := a.Weighted() || b.Weighted()
+	if weighted {
+		for v := int32(0); int(v) < a.N(); v++ {
+			nb.SetVertexWeight(v, a.VertexWeight(v))
+		}
+		for v := int32(0); int(v) < b.N(); v++ {
+			nb.SetVertexWeight(int32(a.N())+v, b.VertexWeight(v))
+		}
+	}
+	a.Edges(func(u, v, w int32) { nb.AddWeightedEdge(u, v, w) })
+	off := int32(a.N())
+	b.Edges(func(u, v, w int32) { nb.AddWeightedEdge(off+u, off+v, w) })
+	return nb.Build()
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func gridGraph(t *testing.T, rows, cols int) *Graph {
+	t.Helper()
+	b := NewBuilder(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := int32(r*cols + c)
+			if c+1 < cols {
+				b.AddEdge(v, v+1)
+			}
+			if r+1 < rows {
+				b.AddEdge(v, v+int32(cols))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestInducedPreservesWeights(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 7)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.SetVertexWeight(1, 5)
+	g := b.MustBuild()
+	sub, m, err := Induced(g, []int32{1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("n=%d m=%d", sub.N(), sub.M())
+	}
+	// New id 0 = old 1 (weight 5); edge {old 0, old 1} weight 7 = {new 2, new 0}.
+	if sub.VertexWeight(0) != 5 {
+		t.Fatalf("weight %d", sub.VertexWeight(0))
+	}
+	if sub.EdgeWeight(0, 2) != 7 {
+		t.Fatalf("edge weight %d", sub.EdgeWeight(0, 2))
+	}
+	if m[0] != 1 || m[1] != 2 || m[2] != 0 {
+		t.Fatalf("mapping %v", m)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedEmptySelection(t *testing.T) {
+	g := gridGraph(t, 2, 2)
+	sub, m, err := Induced(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 0 || len(m) != 0 {
+		t.Fatal("empty selection not empty")
+	}
+}
+
+func TestInducedErrors(t *testing.T) {
+	g := gridGraph(t, 2, 2)
+	if _, _, err := Induced(g, []int32{0, 0}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, _, err := Induced(g, []int32{-1}); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, _, err := Induced(g, []int32{4}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	g := gridGraph(t, 3, 3)
+	r := rng.NewFib(4)
+	perm := make([]int32, g.N())
+	inv := make([]int32, g.N())
+	for i, v := range r.Perm(g.N()) {
+		perm[i] = int32(v)
+		inv[v] = int32(i)
+	}
+	pg, err := Permute(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Permute(pg, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("permute round trip changed the graph")
+	}
+}
+
+func TestPermutePreservesWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 9)
+	b.SetVertexWeight(2, 4)
+	g := b.MustBuild()
+	pg, err := Permute(g, []int32{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.EdgeWeight(2, 0) != 9 {
+		t.Fatalf("edge weight lost")
+	}
+	if pg.VertexWeight(1) != 4 {
+		t.Fatalf("vertex weight lost")
+	}
+}
+
+func TestPermuteErrors(t *testing.T) {
+	g := gridGraph(t, 2, 2)
+	if _, err := Permute(g, []int32{0, 1}); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	if _, err := Permute(g, []int32{0, 1, 2, 2}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := Permute(g, []int32{0, 1, 2, 9}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestUnionPreservesStructure(t *testing.T) {
+	a := gridGraph(t, 2, 2)
+	bld := NewBuilder(2)
+	bld.AddWeightedEdge(0, 1, 3)
+	bld.SetVertexWeight(0, 7)
+	b := bld.MustBuild()
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 6 || u.M() != a.M()+1 {
+		t.Fatalf("n=%d m=%d", u.N(), u.M())
+	}
+	if u.EdgeWeight(4, 5) != 3 {
+		t.Fatal("shifted edge weight lost")
+	}
+	if u.VertexWeight(4) != 7 {
+		t.Fatal("shifted vertex weight lost")
+	}
+	if _, comps := u.Components(); comps != 2 {
+		t.Fatalf("components %d", comps)
+	}
+}
+
+func TestUnionWithEmpty(t *testing.T) {
+	a := gridGraph(t, 2, 2)
+	e := NewBuilder(0).MustBuild()
+	u, err := Union(a, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(a, u) {
+		t.Fatal("union with empty changed the graph")
+	}
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func smallResult(t *testing.T) *TableResult {
+	t.Helper()
+	table := BRegTable(80, 3, []int{4}, 1)
+	res, err := Run(table, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := smallResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(res.Rows) {
+		t.Fatalf("%d records for %d rows", len(records), len(res.Rows))
+	}
+	header := strings.Join(records[0], ",")
+	for _, want := range []string{"cut_sa", "cutstd_sa", "sec_ckl", "impr_kl_pct", "speedup_sa_pct"} {
+		if !strings.Contains(header, want) {
+			t.Fatalf("header missing %s: %s", want, header)
+		}
+	}
+	// All records the same width.
+	for i, rec := range records {
+		if len(rec) != len(records[0]) {
+			t.Fatalf("record %d has %d fields, header has %d", i, len(rec), len(records[0]))
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := smallResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != res.ID || len(got.Rows) != len(res.Rows) {
+		t.Fatalf("round trip changed result: %+v", got)
+	}
+	if got.Rows[0].Cells["kl"].Cut != res.Rows[0].Cells["kl"].Cut {
+		t.Fatal("cell data lost")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

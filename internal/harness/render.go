@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the table in the appendix's layout: per row, the expected
+// width, then for each (x, cx) pair the cut columns with the improvement
+// percentage, with the time row beneath, e.g.
+//
+//	Gbreg(5000, b, 3)
+//	b        bsa      bcsa     impr%    bkl      bckl     impr%
+//	         t(s)     t(s)     spdup%   t(s)     t(s)     spdup%
+//	b=2      ...
+func (tr *TableResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", tr.ID, tr.Title); err != nil {
+		return err
+	}
+	// Column plan: label | expected | for each paper pair (x present with
+	// cx): x, cx, impr | any remaining algorithms singly.
+	var pairs []string
+	var singles []string
+	has := map[string]bool{}
+	for _, n := range tr.Algorithms {
+		has[n] = true
+	}
+	seen := map[string]bool{}
+	for _, n := range tr.Algorithms {
+		if strings.HasPrefix(n, "c") && has[n[1:]] {
+			continue // rendered as part of its pair
+		}
+		if has["c"+n] {
+			pairs = append(pairs, n)
+			seen[n], seen["c"+n] = true, true
+		} else if !seen[n] {
+			singles = append(singles, n)
+		}
+	}
+
+	const colw = 10
+	pad := func(s string) string {
+		if len(s) >= colw {
+			return s + " "
+		}
+		return s + strings.Repeat(" ", colw-len(s))
+	}
+	// Header.
+	head := pad("row") + pad("exp")
+	for _, p := range pairs {
+		head += pad("b"+p) + pad("bc"+p) + pad("impr%")
+	}
+	for _, s := range singles {
+		head += pad("b" + s)
+	}
+	sub := pad("") + pad("")
+	for range pairs {
+		sub += pad("t(s)") + pad("t(s)") + pad("spdup%")
+	}
+	for range singles {
+		sub += pad("t(s)")
+	}
+	if _, err := fmt.Fprintln(w, head); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sub); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(head))); err != nil {
+		return err
+	}
+
+	fnum := func(v float64) string {
+		if v == float64(int64(v)) && v < 1e15 {
+			return fmt.Sprintf("%d", int64(v))
+		}
+		return fmt.Sprintf("%.1f", v)
+	}
+	for _, row := range tr.Rows {
+		exp := "?"
+		if row.Expected >= 0 {
+			exp = fmt.Sprintf("%d", row.Expected)
+		}
+		line1 := pad(row.Label) + pad(exp)
+		line2 := pad("") + pad("")
+		for _, p := range pairs {
+			x := row.Cells[p]
+			cx := row.Cells["c"+p]
+			line1 += pad(fnum(x.Cut)) + pad(fnum(cx.Cut)) + pad(fmt.Sprintf("%.1f", row.CutImprovement[p]))
+			line2 += pad(fmt.Sprintf("%.3f", x.Seconds)) + pad(fmt.Sprintf("%.3f", cx.Seconds)) + pad(fmt.Sprintf("%.1f", row.SpeedUp[p]))
+		}
+		for _, s := range singles {
+			x := row.Cells[s]
+			line1 += pad(fnum(x.Cut))
+			line2 += pad(fmt.Sprintf("%.3f", x.Seconds))
+		}
+		if _, err := fmt.Fprintln(w, line1); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, line2); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderSummary writes the Table-1-style summary: one line per table with
+// the mean compaction improvement per inner algorithm.
+func RenderSummary(w io.Writer, label string, results []*TableResult, inners []string) error {
+	if _, err := fmt.Fprintf(w, "%s\n", label); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-28s", "Graph type"); err != nil {
+		return err
+	}
+	for _, in := range inners {
+		if _, err := fmt.Fprintf(w, "%-12s", "c"+in+" impr%"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, tr := range results {
+		if _, err := fmt.Fprintf(w, "%-28s", tr.Title); err != nil {
+			return err
+		}
+		for _, in := range inners {
+			if _, err := fmt.Fprintf(w, "%-12.1f", tr.MeanImprovement(in)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

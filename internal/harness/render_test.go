@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRenderGolden pins the exact rendered layout for a synthetic result,
+// so accidental format drift is caught (the text format is consumed by
+// scripts diffing against results/).
+func TestRenderGolden(t *testing.T) {
+	tr := &TableResult{
+		ID:         "TX",
+		Title:      "Synthetic",
+		Algorithms: []string{"sa", "csa", "kl", "ckl"},
+		Rows: []RowResult{
+			{
+				Label:    "b=4",
+				Expected: 4,
+				Cells: map[string]Cell{
+					"sa":  {Cut: 100, Seconds: 1.5},
+					"csa": {Cut: 10, Seconds: 2},
+					"kl":  {Cut: 50, Seconds: 0.25},
+					"ckl": {Cut: 5, Seconds: 0.125},
+				},
+				CutImprovement: map[string]float64{"sa": 90, "kl": 90},
+				SpeedUp:        map[string]float64{"sa": -33.3, "kl": 50},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"TX — Synthetic",
+		"row       exp       bsa       bcsa      impr%     bkl       bckl      impr%     ",
+		"                    t(s)      t(s)      spdup%    t(s)      t(s)      spdup%    ",
+		"--------------------------------------------------------------------------------",
+		"b=4       4         100       10        90.0      50        5         90.0      ",
+		"                    1.500     2.000     -33.3     0.250     0.125     50.0      ",
+		"",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("render drift:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestRenderSingles covers algorithms without a compacted twin.
+func TestRenderSingles(t *testing.T) {
+	tr := &TableResult{
+		ID:         "TY",
+		Title:      "Singles",
+		Algorithms: []string{"kl", "spectral"},
+		Rows: []RowResult{{
+			Label:    "row",
+			Expected: -1,
+			Cells: map[string]Cell{
+				"kl":       {Cut: 3, Seconds: 0.5},
+				"spectral": {Cut: 7, Seconds: 0.25},
+			},
+			CutImprovement: map[string]float64{},
+			SpeedUp:        map[string]float64{},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := tr.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bkl", "bspectral", "?"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package hfm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// chainNetlist builds cells c0..c(n-1) joined by 2-pin chain nets.
+func chainNetlist(t testing.TB, n int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New()
+	for i := 0; i < n; i++ {
+		if err := nl.AddCell(fmt.Sprintf("c%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := nl.AddNet(fmt.Sprintf("n%d", i), fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nl
+}
+
+// clusteredNetlist builds two 6-cell cliques of 3-pin nets joined by one
+// bridging net; the optimal bisection cuts exactly that net.
+func clusteredNetlist(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New()
+	for i := 0; i < 12; i++ {
+		if err := nl.AddCell(fmt.Sprintf("c%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id := 0
+	add := func(cells ...string) {
+		id++
+		if err := nl.AddNet(fmt.Sprintf("n%d", id), cells...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for base := 0; base < 12; base += 6 {
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				add(fmt.Sprintf("c%d", base+i), fmt.Sprintf("c%d", base+j))
+			}
+		}
+	}
+	add("c0", "c6") // bridge
+	return nl
+}
+
+func TestBisectChain(t *testing.T) {
+	nl := chainNetlist(t, 16)
+	res, err := Bisect(nl, Options{}, rng.NewFib(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain's optimal bisection cuts one net.
+	if res.CutNets != 1 {
+		t.Fatalf("chain cut nets %d, want 1", res.CutNets)
+	}
+	// Cross-check against the netlist's own metric.
+	got, err := nl.CutNets(res.Sides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.CutNets {
+		t.Fatalf("reported %d != recomputed %d", res.CutNets, got)
+	}
+	// Balance.
+	n0 := 0
+	for _, s := range res.Sides {
+		if s == 0 {
+			n0++
+		}
+	}
+	if n0 != 8 {
+		t.Fatalf("sides %d/%d", n0, 16-n0)
+	}
+}
+
+func TestBisectClusters(t *testing.T) {
+	nl := clusteredNetlist(t)
+	best := 1 << 30
+	r := rng.NewFib(2)
+	for trial := 0; trial < 4; trial++ {
+		res, err := Bisect(nl, Options{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CutNets < best {
+			best = res.CutNets
+		}
+	}
+	if best != 1 {
+		t.Fatalf("clustered netlist best cut %d, want 1 (the bridge)", best)
+	}
+}
+
+func TestRefinePreservesBalanceTolerance(t *testing.T) {
+	nl := chainNetlist(t, 20)
+	sides := make([]uint8, 20)
+	for i := 10; i < 20; i++ {
+		sides[i] = 1
+	}
+	res, err := Refine(nl, sides, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a [2]int64
+	for i, s := range res.Sides {
+		a[s] += int64(nl.Cells()[i].Area)
+	}
+	d := a[0] - a[1]
+	if d < 0 {
+		d = -d
+	}
+	if d > 1 {
+		t.Fatalf("imbalance %d", d)
+	}
+}
+
+func TestRefineRejectsBadInput(t *testing.T) {
+	nl := chainNetlist(t, 4)
+	if _, err := Refine(nl, []uint8{0, 1}, Options{}); err == nil {
+		t.Fatal("short sides accepted")
+	}
+	if _, err := Refine(nl, []uint8{0, 1, 2, 0}, Options{}); err == nil {
+		t.Fatal("side 2 accepted")
+	}
+}
+
+func TestEmptyNetlist(t *testing.T) {
+	nl := netlist.New()
+	res, err := Bisect(nl, Options{}, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets != 0 {
+		t.Fatal("empty netlist cut")
+	}
+}
+
+func TestMultiPinNetGainSemantics(t *testing.T) {
+	// One 4-pin net with 3 cells on side 0 and 1 on side 1:
+	// moving the lone side-1 cell uncuts the net (gain +1);
+	// moving a side-0 cell changes nothing (gain 0).
+	nl := netlist.New()
+	for i := 0; i < 4; i++ {
+		if err := nl.AddCell(fmt.Sprintf("c%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nl.AddNet("n", "c0", "c1", "c2", "c3"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newState(nl, []uint8{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s.gain(3); g != 1 {
+		t.Fatalf("lone-cell gain %d, want 1", g)
+	}
+	if g := s.gain(0); g != 0 {
+		t.Fatalf("majority-cell gain %d, want 0", g)
+	}
+	// All four on one side: moving any cuts the net.
+	s2, err := newState(nl, []uint8{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s2.gain(0); g != -1 {
+		t.Fatalf("internal-net gain %d, want -1", g)
+	}
+}
+
+func TestIncrementalGainsMatchRecompute(t *testing.T) {
+	// Property: after arbitrary moves with bucket maintenance, stored
+	// gains equal from-scratch gains.
+	r := rng.NewFib(7)
+	for trial := 0; trial < 30; trial++ {
+		nl := netlist.New()
+		cells := 6 + r.Intn(10)
+		for i := 0; i < cells; i++ {
+			if err := nl.AddCell(fmt.Sprintf("c%d", i), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nets := 4 + r.Intn(12)
+		for n := 0; n < nets; n++ {
+			k := 2 + r.Intn(3)
+			perm := r.Perm(cells)
+			names := make([]string, k)
+			for i := 0; i < k; i++ {
+				names[i] = fmt.Sprintf("c%d", perm[i])
+			}
+			if err := nl.AddNet(fmt.Sprintf("n%d", n), names...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sides := make([]uint8, cells)
+		for i := range sides {
+			if r.Bool() {
+				sides[i] = 1
+			}
+		}
+		s, err := newState(nl, sides)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buckets [2]*partition.GainBuckets
+		maxPins := int64(0)
+		for c := 0; c < cells; c++ {
+			if int64(len(s.pins[c])) > maxPins {
+				maxPins = int64(len(s.pins[c]))
+			}
+		}
+		for sd := 0; sd < 2; sd++ {
+			buckets[sd], err = partition.NewGainBuckets(cells, maxPins)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for c := int32(0); int(c) < cells; c++ {
+			buckets[s.side[c]].Add(c, s.gain(c))
+		}
+		for step := 0; step < 40; step++ {
+			c := int32(r.Intn(cells))
+			buckets[s.side[c]].Remove(c)
+			s.move(c, buckets)
+			buckets[s.side[c]].Add(c, s.gain(c))
+			// Verify all stored gains.
+			for d := int32(0); int(d) < cells; d++ {
+				if got, want := buckets[s.side[d]].GainOf(d), s.gain(d); got != want {
+					t.Fatalf("trial %d step %d: cell %d stored gain %d != %d", trial, step, d, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHFMBeatsRandomOnLargerNetlist(t *testing.T) {
+	nl := netlist.New()
+	r := rng.NewFib(9)
+	const cells = 120
+	for i := 0; i < cells; i++ {
+		if err := nl.AddCell(fmt.Sprintf("c%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Local nets within blocks of 10 + a few random long nets.
+	id := 0
+	for b := 0; b < cells; b += 10 {
+		for i := 0; i < 9; i++ {
+			id++
+			if err := nl.AddNet(fmt.Sprintf("n%d", id), fmt.Sprintf("c%d", b+i), fmt.Sprintf("c%d", b+i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k := 0; k < 10; k++ {
+		id++
+		a, bb := r.Intn(cells), r.Intn(cells)
+		if a == bb {
+			continue
+		}
+		if err := nl.AddNet(fmt.Sprintf("n%d", id), fmt.Sprintf("c%d", a), fmt.Sprintf("c%d", bb)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Random baseline.
+	sides := make([]uint8, cells)
+	for i := range sides {
+		if i%2 == 0 {
+			sides[i] = 1
+		}
+	}
+	randomCut, err := nl.CutNets(sides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bisect(nl, Options{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets >= randomCut/2 {
+		t.Fatalf("hfm cut %d not much better than random-ish %d", res.CutNets, randomCut)
+	}
+}
+
+func TestWeightedAreasRespected(t *testing.T) {
+	nl := netlist.New()
+	for i := 0; i < 6; i++ {
+		area := int32(1)
+		if i < 2 {
+			area = 3
+		}
+		if err := nl.AddCell(fmt.Sprintf("c%d", i), area); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nl.AddNet("n1", "c0", "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddNet("n2", "c1", "c3"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Bisect(nl, Options{MaxImbalance: 2}, rng.NewFib(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a [2]int64
+	for i, s := range res.Sides {
+		a[s] += int64(nl.Cells()[i].Area)
+	}
+	d := a[0] - a[1]
+	if d < 0 {
+		d = -d
+	}
+	if d > 2 {
+		t.Fatalf("area imbalance %d exceeds tolerance", d)
+	}
+}
+
+func BenchmarkHFMBisect(b *testing.B) {
+	nl := netlist.New()
+	r := rng.NewFib(1)
+	const cells = 500
+	for i := 0; i < cells; i++ {
+		if err := nl.AddCell(fmt.Sprintf("c%d", i), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for n := 0; n < 800; n++ {
+		a, c := r.Intn(cells), r.Intn(cells)
+		if a == c {
+			continue
+		}
+		if err := nl.AddNet(fmt.Sprintf("n%d", n), fmt.Sprintf("c%d", a), fmt.Sprintf("c%d", c)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Bisect(nl, Options{}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package kl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPassNeverIncreasesCut(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 2 * (2 + r.Intn(25))
+		g, err := gen.GNP(n, 0.2, r)
+		if err != nil {
+			return false
+		}
+		b := partition.NewRandom(g, r)
+		before := b.Cut()
+		imp, _, _, err := Pass(b, Options{})
+		if err != nil {
+			return false
+		}
+		if b.Validate() != nil {
+			return false
+		}
+		return b.Cut() == before-imp && imp >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassPreservesBalance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 2 * (2 + r.Intn(20))
+		g, err := gen.GNP(n, 0.25, r)
+		if err != nil {
+			return false
+		}
+		b := partition.NewRandom(g, r)
+		w0, w1 := b.SideWeight(0), b.SideWeight(1)
+		if _, _, _, err := Pass(b, Options{}); err != nil {
+			return false
+		}
+		return b.SideWeight(0) == w0 && b.SideWeight(1) == w1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassMatchesFigure2OnWorkedExample(t *testing.T) {
+	// TestKLPassMatchesFigure2 (experiment F2 in DESIGN.md): a concrete
+	// instance where one KL pass must find the optimal interchange.
+	//
+	// Two dense K4 cliques; the random-looking start places one vertex of
+	// each clique on the wrong side. The pass must swap the two misplaced
+	// vertices and stop (further swaps have negative cumulative gain).
+	b := graph.NewBuilder(8)
+	for _, c := range [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}} {
+		b.AddEdge(c[0], c[1])
+	}
+	for _, c := range [][2]int32{{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7}} {
+		b.AddEdge(c[0], c[1])
+	}
+	g := b.MustBuild()
+	// Misplace vertices 3 and 7.
+	bis, err := partition.New(g, []uint8{0, 0, 0, 1, 1, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bis.Cut() != 6 {
+		t.Fatalf("start cut %d, want 6", bis.Cut())
+	}
+	imp, kept, _, err := Pass(bis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp != 6 || kept != 1 {
+		t.Fatalf("pass: improvement %d (want 6), kept %d (want 1)", imp, kept)
+	}
+	if bis.Cut() != 0 {
+		t.Fatalf("final cut %d, want 0", bis.Cut())
+	}
+	// Each vertex must have rejoined its own clique: 3 with {0,1,2} and 7
+	// with {4,5,6}.
+	if bis.Side(3) != bis.Side(0) || bis.Side(7) != bis.Side(4) {
+		t.Fatal("wrong vertices swapped")
+	}
+}
+
+func TestRefineFindsOptimumOnSmallGraphs(t *testing.T) {
+	// KL (best of a few random starts) should match the exact optimum on
+	// small dense graphs. This is a statistical statement about KL's
+	// quality, made deterministic by fixed seeds; dense small instances
+	// have few local optima.
+	r := rng.NewFib(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 * (3 + r.Intn(4)) // 6..12 vertices
+		g, err := gen.GNP(n, 0.5, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := exact.BisectionWidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := int64(1) << 62
+		for start := 0; start < 6; start++ {
+			b, _, err := Run(g, Options{}, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Cut() < best {
+				best = b.Cut()
+			}
+		}
+		if best > opt {
+			t.Fatalf("trial %d (n=%d): KL best-of-6 %d > optimum %d", trial, n, best, opt)
+		}
+		if best < opt {
+			t.Fatalf("trial %d: KL cut %d below proven optimum %d — exact solver bug", trial, best, opt)
+		}
+	}
+}
+
+func TestRefineStatsConsistent(t *testing.T) {
+	r := rng.NewFib(5)
+	g, err := gen.BReg(200, 4, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := partition.NewRandom(g, r)
+	initial := b.Cut()
+	st, err := Refine(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InitialCut != initial || st.FinalCut != b.Cut() {
+		t.Fatalf("stats cuts %d→%d, bisection %d→%d", st.InitialCut, st.FinalCut, initial, b.Cut())
+	}
+	if st.FinalCut > st.InitialCut {
+		t.Fatal("refine increased the cut")
+	}
+	if st.Passes < 1 {
+		t.Fatal("no passes recorded")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineMaxPasses(t *testing.T) {
+	r := rng.NewFib(6)
+	g, err := gen.BReg(300, 8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := partition.NewRandom(g, r)
+	st, err := Refine(b, Options{MaxPasses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Passes != 1 {
+		t.Fatalf("passes = %d, want exactly 1", st.Passes)
+	}
+}
+
+func TestPruningDoesNotChangeResults(t *testing.T) {
+	// The admissible pruning must leave the chosen pairs (and hence final
+	// cuts) identical; only ScannedPairs differs. Both runs must see
+	// identical inputs, so the RNG is re-seeded.
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.GNP(60, 0.1, rng.NewFib(seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1 := partition.NewRandom(g, rng.NewFib(seed))
+		b2 := b1.Clone()
+		st1, err := Refine(b1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := Refine(b2, Options{DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b1.Cut() != b2.Cut() {
+			t.Fatalf("seed %d: pruned cut %d != unpruned %d", seed, b1.Cut(), b2.Cut())
+		}
+		if st1.ScannedPairs > st2.ScannedPairs {
+			t.Fatalf("seed %d: pruning scanned MORE pairs (%d > %d)", seed, st1.ScannedPairs, st2.ScannedPairs)
+		}
+	}
+}
+
+func TestKLOnLadderIsSuboptimalSometimes(t *testing.T) {
+	// The paper's motivating failure: plain KL from a random start often
+	// misses the width-2 optimum on ladders. We verify KL is at least
+	// valid here, and that it does not always reach 2 (over many seeds) —
+	// if it always did, the compaction story would be vacuous.
+	g := mustGraph(gen.Ladder(64))
+	reached := 0
+	const trials = 12
+	r := rng.NewFib(13)
+	for i := 0; i < trials; i++ {
+		b, _, err := Run(g, Options{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Imbalance() != 0 {
+			t.Fatal("KL unbalanced the ladder")
+		}
+		if b.Cut() < 2 {
+			t.Fatalf("cut %d below bisection width 2", b.Cut())
+		}
+		if b.Cut() == 2 {
+			reached++
+		}
+	}
+	if reached == trials {
+		t.Skip("KL solved the ladder from every start on these seeds; weak adversarial instance")
+	}
+}
+
+func TestRunOnEmptyAndTinyGraphs(t *testing.T) {
+	r := rng.NewFib(1)
+	g := graph.NewBuilder(0).MustBuild()
+	b, _, err := Run(g, Options{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cut() != 0 {
+		t.Fatal("empty graph nonzero cut")
+	}
+	g2 := mustGraph(gen.Path(2))
+	b2, _, err := Run(g2, Options{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Cut() != 1 {
+		t.Fatalf("P2 cut %d, want 1", b2.Cut())
+	}
+}
+
+func TestPassOnDisconnectedGraph(t *testing.T) {
+	// Two K4s with no connection: optimal cut 0; KL should find it from
+	// most starts since the pass explores all swap prefixes.
+	b := graph.NewBuilder(8)
+	for _, c := range [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{4, 5}, {4, 6}, {4, 7}, {5, 6}, {5, 7}, {6, 7}} {
+		b.AddEdge(c[0], c[1])
+	}
+	g := b.MustBuild()
+	best := int64(1) << 62
+	r := rng.NewFib(3)
+	for i := 0; i < 5; i++ {
+		bis, _, err := Run(g, Options{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bis.Cut() < best {
+			best = bis.Cut()
+		}
+	}
+	if best != 0 {
+		t.Fatalf("best cut %d on two disjoint cliques, want 0", best)
+	}
+}
+
+func TestWeightedKL(t *testing.T) {
+	// KL must respect weights: a heavy edge should end up uncut.
+	bld := graph.NewBuilder(4)
+	bld.AddWeightedEdge(0, 1, 100)
+	bld.AddWeightedEdge(2, 3, 100)
+	bld.AddWeightedEdge(0, 2, 1)
+	bld.AddWeightedEdge(1, 3, 1)
+	g := bld.MustBuild()
+	bis, err := partition.New(g, []uint8{0, 1, 0, 1}) // cuts both heavy edges
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(bis, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if bis.Cut() != 2 {
+		t.Fatalf("weighted KL cut %d, want 2", bis.Cut())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if (Stats{}).String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+func BenchmarkKLBReg2000D3(b *testing.B) {
+	r := rng.NewFib(1)
+	g, err := gen.BReg(2000, 16, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(g, Options{}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

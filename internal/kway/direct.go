@@ -1,0 +1,107 @@
+package kway
+
+// DirectRefine: greedy k-way boundary refinement. Where RefinePairs runs
+// full FM on every touching part pair (strong but O(pairs · FM)), this
+// pass sweeps boundary vertices once per round and applies every strictly
+// improving, balance-respecting single move to the best target part —
+// the cheap refinement loop a placement flow runs between global passes,
+// with cost O(rounds · boundary · deg).
+
+import (
+	"fmt"
+)
+
+// DirectRefineOptions configures DirectRefine.
+type DirectRefineOptions struct {
+	// Rounds caps the sweeps (default 8; stops early at a fixpoint).
+	Rounds int
+	// BalanceFactor is the maximum allowed part weight as a multiple of
+	// the ideal (default 1.05). Moves that would push the target part
+	// above it (or are not strict cut improvements) are rejected.
+	BalanceFactor float64
+}
+
+// DirectRefine improves the partition in place and returns the total cut
+// improvement.
+func DirectRefine(p *Partition, opts DirectRefineOptions) (int64, error) {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 8
+	}
+	if opts.BalanceFactor <= 1 {
+		opts.BalanceFactor = 1.05
+	}
+	if p.k < 2 {
+		return 0, nil
+	}
+	g := p.g
+	n := g.N()
+	ideal := float64(g.TotalVertexWeight()) / float64(p.k)
+	maxW := int64(ideal * opts.BalanceFactor)
+	if maxW < 1 {
+		maxW = 1
+	}
+	weights := p.PartWeights()
+
+	// conn[t] accumulates v's edge weight toward part t; reset per vertex
+	// via the touched list to stay O(deg).
+	conn := make([]int64, p.k)
+	touched := make([]int32, 0, 8)
+
+	var improved int64
+	for round := 0; round < opts.Rounds; round++ {
+		var roundGain int64
+		for v := int32(0); int(v) < n; v++ {
+			own := p.part[v]
+			touched = touched[:0]
+			boundary := false
+			for _, e := range g.Neighbors(v) {
+				t := p.part[e.To]
+				if conn[t] == 0 {
+					touched = append(touched, t)
+				}
+				conn[t] += int64(e.W)
+				if t != own {
+					boundary = true
+				}
+			}
+			if boundary {
+				vw := int64(g.VertexWeight(v))
+				bestT := int32(-1)
+				var bestGain int64
+				for _, t := range touched {
+					if t == own {
+						continue
+					}
+					gain := conn[t] - conn[own]
+					if gain <= 0 {
+						continue
+					}
+					if weights[t]+vw > maxW {
+						continue
+					}
+					if gain > bestGain || (gain == bestGain && bestT >= 0 && t < bestT) {
+						bestGain = gain
+						bestT = t
+					}
+				}
+				if bestT >= 0 {
+					p.part[v] = bestT
+					weights[own] -= vw
+					weights[bestT] += vw
+					roundGain += bestGain
+				}
+			}
+			for _, t := range touched {
+				conn[t] = 0
+			}
+		}
+		improved += roundGain
+		if roundGain == 0 {
+			break
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return improved, fmt.Errorf("kway: DirectRefine broke the partition: %v", err)
+	}
+	return improved, nil
+}

@@ -1,0 +1,129 @@
+package kway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestDirectRefineImprovesRandomStart(t *testing.T) {
+	r := rng.NewFib(3)
+	g, err := gen.Grid(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Recursive(g, 4, core.Random{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.EdgeCut()
+	gain, err := DirectRefine(p, DirectRefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeCut() != before-gain {
+		t.Fatalf("cut accounting: %d -> %d, gain %d", before, p.EdgeCut(), gain)
+	}
+	if gain <= 0 {
+		t.Fatalf("no improvement over a random 4-way grid partition (cut %d)", before)
+	}
+	if p.Imbalance() > 1.06 {
+		t.Fatalf("imbalance %.3f exceeds factor 1.05 (+slack)", p.Imbalance())
+	}
+}
+
+func TestDirectRefineRespectsBalanceFactor(t *testing.T) {
+	r := rng.NewFib(4)
+	g, err := gen.BReg(200, 8, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Recursive(g, 5, core.KL{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DirectRefine(p, DirectRefineOptions{BalanceFactor: 1.02, Rounds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ideal := float64(g.TotalVertexWeight()) / 5
+	for i, w := range p.PartWeights() {
+		if float64(w) > ideal*1.02+1 {
+			t.Fatalf("part %d weight %d exceeds 1.02×ideal", i, w)
+		}
+	}
+}
+
+func TestDirectRefineFixpointAndK1(t *testing.T) {
+	r := rng.NewFib(5)
+	g, err := gen.Cycle(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Recursive(g, 1, core.KL{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := DirectRefine(p, DirectRefineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain != 0 {
+		t.Fatalf("k=1 refinement claims gain %d", gain)
+	}
+	// A well-partitioned instance: greedy refinement finds nothing.
+	p2, err := Recursive(g, 2, core.Compacted{Inner: core.KL{}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p2.EdgeCut()
+	if _, err := DirectRefine(p2, DirectRefineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if p2.EdgeCut() > before {
+		t.Fatalf("refinement worsened: %d -> %d", before, p2.EdgeCut())
+	}
+}
+
+func TestDirectRefineDeterministic(t *testing.T) {
+	build := func() *Partition {
+		r := rng.NewFib(9)
+		g, err := gen.BReg(300, 8, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Recursive(g, 3, core.Random{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DirectRefine(p, DirectRefineOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := build(), build()
+	if a.EdgeCut() != b.EdgeCut() {
+		t.Fatalf("nondeterministic refinement: %d vs %d", a.EdgeCut(), b.EdgeCut())
+	}
+}
+
+func BenchmarkDirectRefine(b *testing.B) {
+	r := rng.NewFib(1)
+	g, err := gen.BReg(2000, 16, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := Recursive(g, 8, core.Random{}, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := DirectRefine(p, DirectRefineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

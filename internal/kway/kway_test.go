@@ -1,0 +1,285 @@
+package kway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestRecursivePowerOfTwo(t *testing.T) {
+	g := mustGraph(gen.Grid(8, 8))
+	p, err := Recursive(g, 4, core.Compacted{Inner: core.KL{}}, rng.NewFib(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 4 {
+		t.Fatalf("k=%d", p.K())
+	}
+	ws := p.PartWeights()
+	for i, w := range ws {
+		if w != 16 {
+			t.Fatalf("part %d weight %d, want 16 (weights %v)", i, w, ws)
+		}
+	}
+	// A 4-way split of an 8x8 grid can achieve cut 16 (two orthogonal
+	// bisections of width 8); allow modest slack for heuristic noise.
+	if p.EdgeCut() > 28 {
+		t.Fatalf("4-way grid cut %d too high", p.EdgeCut())
+	}
+	if p.Imbalance() != 1.0 {
+		t.Fatalf("imbalance %v", p.Imbalance())
+	}
+}
+
+func TestRecursiveOddK(t *testing.T) {
+	g := mustGraph(gen.Grid(9, 10)) // 90 vertices
+	p, err := Recursive(g, 3, core.KL{}, rng.NewFib(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ws := p.PartWeights()
+	if len(ws) != 3 {
+		t.Fatalf("parts %v", ws)
+	}
+	total := int64(0)
+	for _, w := range ws {
+		total += w
+	}
+	if total != 90 {
+		t.Fatalf("weights sum %d", total)
+	}
+	// Each part should be within ~20% of ideal 30.
+	for i, w := range ws {
+		if w < 24 || w > 36 {
+			t.Fatalf("part %d weight %d far from ideal 30 (%v)", i, w, ws)
+		}
+	}
+}
+
+func TestRecursiveK1(t *testing.T) {
+	g := mustGraph(gen.Cycle(10))
+	p, err := Recursive(g, 1, core.KL{}, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeCut() != 0 {
+		t.Fatalf("k=1 cut %d", p.EdgeCut())
+	}
+	for v := int32(0); v < 10; v++ {
+		if p.Part(v) != 0 {
+			t.Fatal("k=1 must put everything in part 0")
+		}
+	}
+}
+
+func TestRecursiveKEqualsN(t *testing.T) {
+	g := mustGraph(gen.Cycle(6))
+	p, err := Recursive(g, 6, core.KL{}, rng.NewFib(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]int{}
+	for v := int32(0); v < 6; v++ {
+		seen[p.Part(v)]++
+	}
+	if len(seen) != 6 {
+		t.Fatalf("expected singleton parts, got %v", seen)
+	}
+	if p.EdgeCut() != 6 {
+		t.Fatalf("all-singleton cycle cut %d, want 6", p.EdgeCut())
+	}
+}
+
+func TestRecursiveErrors(t *testing.T) {
+	g := mustGraph(gen.Cycle(6))
+	if _, err := Recursive(g, 0, core.KL{}, rng.NewFib(1)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Recursive(g, 7, core.KL{}, rng.NewFib(1)); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := Recursive(g, 2, nil, rng.NewFib(1)); err == nil {
+		t.Fatal("nil bisector accepted")
+	}
+}
+
+func TestRecursiveDisconnected(t *testing.T) {
+	g := mustGraph(gen.CycleCollection([]int{4, 4, 4}))
+	p, err := Recursive(g, 3, core.Compacted{Inner: core.KL{}}, rng.NewFib(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Three equal cycles into three parts: optimal cut 0; allow the
+	// heuristic a small margin.
+	if p.EdgeCut() > 4 {
+		t.Fatalf("3 cycles into 3 parts cut %d", p.EdgeCut())
+	}
+}
+
+func TestRecursiveOnPlantedColumns(t *testing.T) {
+	// 4 planted clusters joined sparsely; 4-way partition should recover
+	// them (cut ≈ the 3+ linking edges).
+	b := graph.NewBuilder(40)
+	for c := 0; c < 4; c++ {
+		off := int32(10 * c)
+		for i := int32(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				b.AddEdge(off+i, off+j)
+			}
+		}
+	}
+	b.AddEdge(0, 10)
+	b.AddEdge(10, 20)
+	b.AddEdge(20, 30)
+	g := b.MustBuild()
+	p, err := Recursive(g, 4, core.Compacted{Inner: core.KL{}}, rng.NewFib(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeCut() != 3 {
+		t.Fatalf("planted 4-cluster cut %d, want 3", p.EdgeCut())
+	}
+	if p.Imbalance() != 1.0 {
+		t.Fatalf("imbalance %v", p.Imbalance())
+	}
+}
+
+func TestPartitionAccessors(t *testing.T) {
+	g := mustGraph(gen.Cycle(8))
+	p, err := Recursive(g, 2, core.KL{}, rng.NewFib(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph() != g {
+		t.Fatal("wrong graph")
+	}
+	parts := p.Parts()
+	parts[0] = 99
+	if p.Part(0) == 99 {
+		t.Fatal("Parts returned aliased storage")
+	}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestInducedAndPermuteHelpers(t *testing.T) {
+	// graph.Induced is exercised through kway; test direct edge cases here
+	// too, plus algorithm invariance under relabeling.
+	g := mustGraph(gen.Grid(4, 4))
+	sub, m, err := graph.Induced(g, []int32{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || sub.M() != 3 {
+		t.Fatalf("induced row: n=%d m=%d", sub.N(), sub.M())
+	}
+	if m[0] != 0 || m[3] != 3 {
+		t.Fatalf("mapping %v", m)
+	}
+	if _, _, err := graph.Induced(g, []int32{0, 0}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, _, err := graph.Induced(g, []int32{99}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+
+	r := rng.NewFib(8)
+	perm := make([]int32, g.N())
+	for i, v := range r.Perm(g.N()) {
+		perm[i] = int32(v)
+	}
+	pg, err := graph.Permute(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.N() != g.N() || pg.M() != g.M() {
+		t.Fatal("permute changed size")
+	}
+	// Edge preserved under relabeling.
+	if !pg.HasEdge(perm[0], perm[1]) {
+		t.Fatal("permuted edge missing")
+	}
+	if _, err := graph.Permute(g, perm[:3]); err == nil {
+		t.Fatal("short perm accepted")
+	}
+	bad := append([]int32(nil), perm...)
+	bad[0] = bad[1]
+	if _, err := graph.Permute(g, bad); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+
+	u, err := graph.Union(g, mustGraph(gen.Cycle(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.N() != 19 || u.M() != g.M()+3 {
+		t.Fatalf("union n=%d m=%d", u.N(), u.M())
+	}
+}
+
+func TestKLInvariantUnderRelabeling(t *testing.T) {
+	// The minimum cut value found by best-of-k KL should be statistically
+	// invariant under vertex relabeling; at minimum, relabeling must not
+	// change the planted optimum's discoverability. We check the weaker,
+	// deterministic property: the cut of the planted partition is
+	// preserved exactly under Permute.
+	r := rng.NewFib(9)
+	g, err := gen.BReg(100, 4, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := make([]int32, g.N())
+	for i, v := range r.Perm(g.N()) {
+		perm[i] = int32(v)
+	}
+	pg, err := graph.Permute(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := make([]uint8, g.N())
+	pside := make([]uint8, g.N())
+	for v := 0; v < g.N(); v++ {
+		s := uint8(0)
+		if v >= g.N()/2 {
+			s = 1
+		}
+		side[v] = s
+		pside[perm[v]] = s
+	}
+	if partitionCut(g, side) != partitionCut(pg, pside) {
+		t.Fatal("cut not invariant under relabeling")
+	}
+}
+
+func partitionCut(g *graph.Graph, side []uint8) int64 {
+	var cut int64
+	g.Edges(func(u, v, w int32) {
+		if side[u] != side[v] {
+			cut += int64(w)
+		}
+	})
+	return cut
+}

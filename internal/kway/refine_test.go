@@ -1,0 +1,113 @@
+package kway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestRefinePairsNeverWorsens(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		r := rng.NewFib(seed)
+		g, err := gen.BReg(240, 8, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Recursive(g, 4, core.Random{}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := p.EdgeCut()
+		wsBefore := p.PartWeights()
+		gain, err := RefinePairs(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		after := p.EdgeCut()
+		if after != before-gain {
+			t.Fatalf("seed %d: cut accounting %d -> %d with reported gain %d", seed, before, after, gain)
+		}
+		if after > before {
+			t.Fatalf("seed %d: refinement worsened cut %d -> %d", seed, before, after)
+		}
+		// Weights unchanged (unit weights, balanced tolerance).
+		wsAfter := p.PartWeights()
+		for i := range wsBefore {
+			d := wsBefore[i] - wsAfter[i]
+			if d < -1 || d > 1 {
+				t.Fatalf("seed %d: part %d weight drifted %d -> %d", seed, i, wsBefore[i], wsAfter[i])
+			}
+		}
+	}
+}
+
+func TestRefinePairsImprovesRandomStart(t *testing.T) {
+	// From a random 4-way partition of a grid, pairwise FM must recover a
+	// large fraction of the cut.
+	r := rng.NewFib(5)
+	g, err := gen.Grid(12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Recursive(g, 4, core.Random{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.EdgeCut()
+	if _, err := RefinePairs(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeCut()*2 > before {
+		t.Fatalf("refinement too weak: %d -> %d", before, p.EdgeCut())
+	}
+}
+
+func TestRefinePairsFixpointOnGoodPartition(t *testing.T) {
+	// A partition produced by CKL-based recursion is near-locally-optimal;
+	// refinement should make at most marginal changes and never break
+	// validity.
+	r := rng.NewFib(6)
+	g, err := gen.Grid(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Recursive(g, 4, core.Compacted{Inner: core.KL{}}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.EdgeCut()
+	gain, err := RefinePairs(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain < 0 || p.EdgeCut() > before {
+		t.Fatalf("refinement worsened: %d -> %d", before, p.EdgeCut())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinePairsK1(t *testing.T) {
+	r := rng.NewFib(7)
+	g, err := gen.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Recursive(g, 1, core.KL{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain, err := RefinePairs(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain != 0 {
+		t.Fatalf("k=1 refinement claims gain %d", gain)
+	}
+}

@@ -1,0 +1,192 @@
+// Package matching computes matchings of graphs. The paper's compaction
+// heuristic begins by forming "a maximum random matching" — in modern
+// terms a random maximal matching — whose edges are then contracted.
+//
+// A matching is represented as a mate array: mate[v] is v's partner, or
+// −1 if v is unmatched.
+package matching
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RandomMaximal greedily builds a maximal matching: vertices are visited
+// in uniformly random order, and each still-unmatched vertex is matched
+// with a uniformly random unmatched neighbor (if any). The result is
+// maximal — no edge can be added — and its randomness is exactly what the
+// compaction heuristic needs to decorrelate successive contractions.
+func RandomMaximal(g *graph.Graph, r *rng.Rand) []int32 {
+	mate := newMate(g.N())
+	cand := make([]int32, 0, 16)
+	for _, vi := range r.Perm(g.N()) {
+		v := int32(vi)
+		if mate[v] >= 0 {
+			continue
+		}
+		cand = cand[:0]
+		for _, e := range g.Neighbors(v) {
+			if mate[e.To] < 0 {
+				cand = append(cand, e.To)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		u := cand[r.Intn(len(cand))]
+		mate[v], mate[u] = u, v
+	}
+	return mate
+}
+
+// HeavyEdge builds a maximal matching preferring heavy edges: vertices
+// are visited in random order and matched with the heaviest unmatched
+// neighbor (ties broken uniformly at random). On contracted graphs this
+// is the classical heavy-edge matching rule of multilevel partitioners;
+// it is provided for the matching-policy ablation.
+func HeavyEdge(g *graph.Graph, r *rng.Rand) []int32 {
+	mate := newMate(g.N())
+	best := make([]int32, 0, 8)
+	for _, vi := range r.Perm(g.N()) {
+		v := int32(vi)
+		if mate[v] >= 0 {
+			continue
+		}
+		var bw int32 = -1
+		best = best[:0]
+		for _, e := range g.Neighbors(v) {
+			if mate[e.To] >= 0 {
+				continue
+			}
+			switch {
+			case e.W > bw:
+				bw = e.W
+				best = append(best[:0], e.To)
+			case e.W == bw:
+				best = append(best, e.To)
+			}
+		}
+		if len(best) == 0 {
+			continue
+		}
+		u := best[r.Intn(len(best))]
+		mate[v], mate[u] = u, v
+	}
+	return mate
+}
+
+// Augment3 improves a maximal matching in place by flipping length-3
+// augmenting paths (unmatched–matched–matched–unmatched), the blossom-free
+// local step toward a maximum matching. It repeats until no length-3
+// augmentation exists and returns the number of augmentations performed.
+// The resulting matching is strictly larger by that count.
+func Augment3(g *graph.Graph, mate []int32, r *rng.Rand) int {
+	if len(mate) != g.N() {
+		panic("matching: mate array length mismatch")
+	}
+	augmented := 0
+	for {
+		improved := false
+		for _, ui := range r.Perm(g.N()) {
+			u := int32(ui)
+			if mate[u] >= 0 {
+				continue
+			}
+			// u — v — w — x with (v,w) matched and x unmatched, x ≠ u.
+		searchV:
+			for _, ev := range g.Neighbors(u) {
+				v := ev.To
+				w := mate[v]
+				if w < 0 {
+					// v unmatched: direct augmentation (length-1).
+					mate[u], mate[v] = v, u
+					augmented++
+					improved = true
+					break searchV
+				}
+				for _, ex := range g.Neighbors(w) {
+					x := ex.To
+					if x != u && x != v && mate[x] < 0 {
+						mate[u], mate[v] = v, u
+						mate[w], mate[x] = x, w
+						augmented++
+						improved = true
+						break searchV
+					}
+				}
+			}
+		}
+		if !improved {
+			return augmented
+		}
+	}
+}
+
+// Size returns the number of matched edges.
+func Size(mate []int32) int {
+	matched := 0
+	for _, m := range mate {
+		if m >= 0 {
+			matched++
+		}
+	}
+	return matched / 2
+}
+
+// Edges returns the matched pairs (u, v) with u < v.
+func Edges(mate []int32) [][2]int32 {
+	out := make([][2]int32, 0, len(mate)/2)
+	for v, m := range mate {
+		if m > int32(v) {
+			out = append(out, [2]int32{int32(v), m})
+		}
+	}
+	return out
+}
+
+// Validate checks that mate is a matching of g: involutive, irreflexive,
+// and supported on edges of g.
+func Validate(g *graph.Graph, mate []int32) error {
+	if len(mate) != g.N() {
+		return fmt.Errorf("matching: mate array has %d entries for %d vertices", len(mate), g.N())
+	}
+	for v, m := range mate {
+		if m < 0 {
+			continue
+		}
+		if int(m) >= g.N() {
+			return fmt.Errorf("matching: mate[%d] = %d out of range", v, m)
+		}
+		if m == int32(v) {
+			return fmt.Errorf("matching: vertex %d matched to itself", v)
+		}
+		if mate[m] != int32(v) {
+			return fmt.Errorf("matching: mate[%d]=%d but mate[%d]=%d", v, m, m, mate[m])
+		}
+		if !g.HasEdge(int32(v), m) {
+			return fmt.Errorf("matching: pair {%d,%d} is not an edge", v, m)
+		}
+	}
+	return nil
+}
+
+// IsMaximal reports whether no edge of g has both endpoints unmatched.
+func IsMaximal(g *graph.Graph, mate []int32) bool {
+	maximal := true
+	g.Edges(func(u, v, _ int32) {
+		if mate[u] < 0 && mate[v] < 0 {
+			maximal = false
+		}
+	})
+	return maximal
+}
+
+func newMate(n int) []int32 {
+	mate := make([]int32, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	return mate
+}

@@ -1,0 +1,44 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	f.Add("cell a 1\ncell b 2\nnet n a b\n")
+	f.Add("# comment\ncell x\n")
+	f.Add("net n a b\n")
+	f.Add("cell a 0\n")
+	f.Add("cell a 1\ncell a 1\n")
+	f.Add("cell a 1\ncell b 1\nnet n a a\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		nl, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted netlists must round-trip and expand without panics.
+		var buf bytes.Buffer
+		if werr := Write(&buf, nl); werr != nil {
+			t.Fatalf("write-back failed: %v", werr)
+		}
+		nl2, rerr := Parse(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip parse failed: %v\ninput %q", rerr, in)
+		}
+		if nl2.NumCells() != nl.NumCells() || nl2.NumNets() != nl.NumNets() {
+			t.Fatalf("round trip changed counts for %q", in)
+		}
+		if g, err := nl.CliqueExpand(); err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("clique expansion invalid: %v", verr)
+			}
+		}
+		if g, err := nl.StarExpand(); err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("star expansion invalid: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package netlist provides the VLSI substrate that motivates the paper:
+// a minimal netlist representation (cells connected by multi-terminal
+// nets) and the two standard expansions that turn a netlist into a graph
+// for bisection-based placement:
+//
+//   - clique expansion: each k-terminal net becomes a clique on its
+//     cells, each edge weighted so the net contributes weight scaled by
+//     2/k (rounded, min 1) per edge — the classical 1/(k−1)-style
+//     normalization adapted to integer weights;
+//   - star expansion: each net with more than two terminals becomes a
+//     new zero-area star vertex connected to its cells.
+//
+// The text format is line-oriented:
+//
+//	# comment
+//	cell <name> [area]
+//	net <name> <cell> <cell> [cell...]
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Netlist is a set of cells and multi-terminal nets over them.
+type Netlist struct {
+	cells   []Cell
+	cellIdx map[string]int32
+	nets    []Net
+}
+
+// Cell is a placeable component with an area (used as vertex weight).
+type Cell struct {
+	Name string
+	Area int32
+}
+
+// Net connects two or more cells.
+type Net struct {
+	Name  string
+	Cells []int32 // indices into the cell table
+}
+
+// New returns an empty netlist.
+func New() *Netlist {
+	return &Netlist{cellIdx: map[string]int32{}}
+}
+
+// AddCell registers a cell; duplicate names are rejected. Area must be
+// positive (use 1 for unit areas).
+func (nl *Netlist) AddCell(name string, area int32) error {
+	if name == "" {
+		return fmt.Errorf("netlist: empty cell name")
+	}
+	if area <= 0 {
+		return fmt.Errorf("netlist: cell %q has non-positive area %d", name, area)
+	}
+	if _, dup := nl.cellIdx[name]; dup {
+		return fmt.Errorf("netlist: duplicate cell %q", name)
+	}
+	nl.cellIdx[name] = int32(len(nl.cells))
+	nl.cells = append(nl.cells, Cell{Name: name, Area: area})
+	return nil
+}
+
+// AddNet registers a net over named cells (at least two, all distinct and
+// previously added).
+func (nl *Netlist) AddNet(name string, cellNames ...string) error {
+	if len(cellNames) < 2 {
+		return fmt.Errorf("netlist: net %q has %d terminals; need at least 2", name, len(cellNames))
+	}
+	seen := map[string]bool{}
+	idx := make([]int32, 0, len(cellNames))
+	for _, cn := range cellNames {
+		if seen[cn] {
+			return fmt.Errorf("netlist: net %q lists cell %q twice", name, cn)
+		}
+		seen[cn] = true
+		i, ok := nl.cellIdx[cn]
+		if !ok {
+			return fmt.Errorf("netlist: net %q references unknown cell %q", name, cn)
+		}
+		idx = append(idx, i)
+	}
+	nl.nets = append(nl.nets, Net{Name: name, Cells: idx})
+	return nil
+}
+
+// NumCells returns the cell count.
+func (nl *Netlist) NumCells() int { return len(nl.cells) }
+
+// NumNets returns the net count.
+func (nl *Netlist) NumNets() int { return len(nl.nets) }
+
+// Cells returns the cell table (caller must not modify).
+func (nl *Netlist) Cells() []Cell { return nl.cells }
+
+// Nets returns the net table (caller must not modify).
+func (nl *Netlist) Nets() []Net { return nl.nets }
+
+// CellIndex returns the index of the named cell.
+func (nl *Netlist) CellIndex(name string) (int32, bool) {
+	i, ok := nl.cellIdx[name]
+	return i, ok
+}
+
+// CliqueExpand converts the netlist into a graph on the cells: each
+// k-terminal net adds a clique with per-edge weight max(1, round(2W/k))
+// where W is the net weight base (we use W = k/2 scaled: weight 1 for
+// 2- and 3-terminal nets, decaying influence for huge nets is capped at
+// 1 anyway with integer weights — multiple nets over the same pair sum).
+// Vertex weights are cell areas.
+func (nl *Netlist) CliqueExpand() (*graph.Graph, error) {
+	b := graph.NewBuilder(len(nl.cells))
+	for i, c := range nl.cells {
+		b.SetVertexWeight(int32(i), c.Area)
+	}
+	for _, net := range nl.nets {
+		k := len(net.Cells)
+		// Integer-friendly 2/k normalization with a floor of 1: cliques of
+		// small nets get weight 1 per edge; larger nets also 1 (the floor),
+		// but each pair appears in as many nets as connect it, summing up.
+		w := int32(1)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				b.AddWeightedEdge(net.Cells[i], net.Cells[j], w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// StarExpand converts the netlist into a graph with one extra zero-cost
+// (weight-1) star vertex per net of three or more terminals; 2-terminal
+// nets become direct edges. Star vertices are appended after the cells.
+func (nl *Netlist) StarExpand() (*graph.Graph, error) {
+	extra := 0
+	for _, net := range nl.nets {
+		if len(net.Cells) > 2 {
+			extra++
+		}
+	}
+	b := graph.NewBuilder(len(nl.cells) + extra)
+	for i, c := range nl.cells {
+		b.SetVertexWeight(int32(i), c.Area)
+	}
+	star := int32(len(nl.cells))
+	for _, net := range nl.nets {
+		if len(net.Cells) == 2 {
+			b.AddEdge(net.Cells[0], net.Cells[1])
+			continue
+		}
+		b.SetVertexWeight(star, 1)
+		for _, c := range net.Cells {
+			b.AddEdge(star, c)
+		}
+		star++
+	}
+	return b.Build()
+}
+
+// CutNets counts the nets severed by a side assignment over the cells
+// (star vertices, if any, are ignored: a net is cut iff its cells appear
+// on both sides). This is the placement-quality metric a VLSI flow
+// actually cares about.
+func (nl *Netlist) CutNets(side []uint8) (int, error) {
+	if len(side) < len(nl.cells) {
+		return 0, fmt.Errorf("netlist: side assignment covers %d of %d cells", len(side), len(nl.cells))
+	}
+	cut := 0
+	for _, net := range nl.nets {
+		s0 := side[net.Cells[0]]
+		for _, c := range net.Cells[1:] {
+			if side[c] != s0 {
+				cut++
+				break
+			}
+		}
+	}
+	return cut, nil
+}
+
+// Parse reads the text format described in the package comment.
+func Parse(r io.Reader) (*Netlist, error) {
+	nl := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "cell":
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fmt.Errorf("netlist: line %d: malformed cell record %q", line, text)
+			}
+			area := 1
+			if len(fields) == 3 {
+				var err error
+				area, err = strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("netlist: line %d: bad area %q", line, fields[2])
+				}
+			}
+			if err := nl.AddCell(fields[1], int32(area)); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
+			}
+		case "net":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("netlist: line %d: net needs a name and at least 2 cells", line)
+			}
+			if err := nl.AddNet(fields[1], fields[2:]...); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// Write emits the netlist in the text format.
+func Write(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range nl.cells {
+		if _, err := fmt.Fprintf(bw, "cell %s %d\n", c.Name, c.Area); err != nil {
+			return err
+		}
+	}
+	for _, net := range nl.nets {
+		names := make([]string, len(net.Cells))
+		for i, c := range net.Cells {
+			names[i] = nl.cells[c].Name
+		}
+		if _, err := fmt.Fprintf(bw, "net %s %s\n", net.Name, strings.Join(names, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SortedCellNames returns cell names in sorted order (for deterministic
+// output in tools).
+func (nl *Netlist) SortedCellNames() []string {
+	names := make([]string, len(nl.cells))
+	for i, c := range nl.cells {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return names
+}

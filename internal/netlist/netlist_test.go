@@ -1,0 +1,196 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func build(t *testing.T) *Netlist {
+	t.Helper()
+	nl := New()
+	for _, c := range []string{"a", "b", "c", "d"} {
+		if err := nl.AddCell(c, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nl.AddNet("n1", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddNet("n2", "b", "c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestAddCellErrors(t *testing.T) {
+	nl := New()
+	if err := nl.AddCell("", 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := nl.AddCell("a", 0); err == nil {
+		t.Fatal("zero area accepted")
+	}
+	if err := nl.AddCell("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.AddCell("a", 2); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestAddNetErrors(t *testing.T) {
+	nl := New()
+	_ = nl.AddCell("a", 1)
+	_ = nl.AddCell("b", 1)
+	if err := nl.AddNet("n", "a"); err == nil {
+		t.Fatal("1-terminal net accepted")
+	}
+	if err := nl.AddNet("n", "a", "a"); err == nil {
+		t.Fatal("duplicate terminal accepted")
+	}
+	if err := nl.AddNet("n", "a", "zz"); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+	if err := nl.AddNet("n", "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueExpand(t *testing.T) {
+	nl := build(t)
+	g, err := nl.CliqueExpand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// n1: edge a-b. n2: triangle b-c, b-d, c-d. Total 4 edges.
+	if g.M() != 4 {
+		t.Fatalf("m=%d", g.M())
+	}
+	ia, _ := nl.CellIndex("a")
+	ib, _ := nl.CellIndex("b")
+	if !g.HasEdge(ia, ib) {
+		t.Fatal("missing clique edge a-b")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCliqueExpandSharedPairsSum(t *testing.T) {
+	nl := New()
+	_ = nl.AddCell("a", 1)
+	_ = nl.AddCell("b", 1)
+	_ = nl.AddNet("n1", "a", "b")
+	_ = nl.AddNet("n2", "a", "b")
+	g, err := nl.CliqueExpand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := g.EdgeWeight(0, 1); w != 2 {
+		t.Fatalf("shared pair weight %d, want 2", w)
+	}
+}
+
+func TestStarExpand(t *testing.T) {
+	nl := build(t)
+	g, err := nl.StarExpand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cells + 1 star for the 3-terminal net.
+	if g.N() != 5 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// Edges: a-b direct, star to b,c,d.
+	if g.M() != 4 {
+		t.Fatalf("m=%d", g.M())
+	}
+	star := int32(4)
+	if g.Degree(star) != 3 {
+		t.Fatalf("star degree %d", g.Degree(star))
+	}
+}
+
+func TestCutNets(t *testing.T) {
+	nl := build(t)
+	// a,b side 0; c,d side 1: n1 uncut, n2 cut.
+	cut, err := nl.CutNets([]uint8{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("cut nets %d, want 1", cut)
+	}
+	// All same side: nothing cut.
+	cut, err = nl.CutNets([]uint8{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0 {
+		t.Fatalf("cut nets %d, want 0", cut)
+	}
+	if _, err := nl.CutNets([]uint8{0}); err == nil {
+		t.Fatal("short side accepted")
+	}
+}
+
+func TestParseAndWriteRoundTrip(t *testing.T) {
+	in := `# test netlist
+cell a 2
+cell b 1
+cell c 1
+net n1 a b
+net n2 a b c
+`
+	nl, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 3 || nl.NumNets() != 2 {
+		t.Fatalf("cells=%d nets=%d", nl.NumCells(), nl.NumNets())
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl2.NumCells() != 3 || nl2.NumNets() != 2 {
+		t.Fatal("round trip lost records")
+	}
+	if nl2.Cells()[0].Area != 2 {
+		t.Fatalf("area lost: %d", nl2.Cells()[0].Area)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"cell\n",
+		"cell a x\n",
+		"cell a 1\ncell a 1\n",
+		"net n a b\n",         // unknown cells
+		"cell a 1\nnet n a\n", // too few fields
+		"bogus record\n",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestSortedCellNames(t *testing.T) {
+	nl := New()
+	_ = nl.AddCell("z", 1)
+	_ = nl.AddCell("a", 1)
+	names := nl.SortedCellNames()
+	if names[0] != "a" || names[1] != "z" {
+		t.Fatalf("names %v", names)
+	}
+}

@@ -1,0 +1,131 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRandomNetlistShape(t *testing.T) {
+	r := rng.NewFib(1)
+	nl, err := Random(RandomOptions{Cells: 100, Nets: 150, MaxPins: 5, MaxArea: 3, Locality: 0.7}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 100 || nl.NumNets() != 150 {
+		t.Fatalf("cells=%d nets=%d", nl.NumCells(), nl.NumNets())
+	}
+	for _, net := range nl.Nets() {
+		if len(net.Cells) < 2 || len(net.Cells) > 5 {
+			t.Fatalf("net %s has %d pins", net.Name, len(net.Cells))
+		}
+		seen := map[int32]bool{}
+		for _, c := range net.Cells {
+			if seen[c] {
+				t.Fatalf("net %s repeats cell %d", net.Name, c)
+			}
+			seen[c] = true
+		}
+	}
+	for _, c := range nl.Cells() {
+		if c.Area < 1 || c.Area > 3 {
+			t.Fatalf("cell %s area %d", c.Name, c.Area)
+		}
+	}
+}
+
+func TestRandomNetlistDeterministic(t *testing.T) {
+	opts := RandomOptions{Cells: 40, Nets: 60, MaxPins: 4}
+	a, err := Random(opts, rng.NewFib(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(opts, rng.NewFib(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNets() != b.NumNets() {
+		t.Fatal("seed determinism broken")
+	}
+	for i := range a.Nets() {
+		an, bn := a.Nets()[i], b.Nets()[i]
+		if len(an.Cells) != len(bn.Cells) {
+			t.Fatalf("net %d pin counts differ", i)
+		}
+		for j := range an.Cells {
+			if an.Cells[j] != bn.Cells[j] {
+				t.Fatalf("net %d pin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomNetlistLocality(t *testing.T) {
+	// With high locality, the mean pin-index spread should be much
+	// smaller than under uniform selection.
+	r := rng.NewFib(3)
+	spread := func(nl *Netlist) float64 {
+		var total, count float64
+		for _, net := range nl.Nets() {
+			min, max := net.Cells[0], net.Cells[0]
+			for _, c := range net.Cells {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			total += float64(max - min)
+			count++
+		}
+		return total / count
+	}
+	local, err := Random(RandomOptions{Cells: 400, Nets: 300, MaxPins: 3, Locality: 0.95, Window: 10}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Random(RandomOptions{Cells: 400, Nets: 300, MaxPins: 3, Locality: 0}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread(local) >= spread(global)/2 {
+		t.Fatalf("locality ineffective: local spread %.1f vs global %.1f", spread(local), spread(global))
+	}
+}
+
+func TestRandomNetlistErrors(t *testing.T) {
+	r := rng.NewFib(1)
+	if _, err := Random(RandomOptions{Cells: 1, Nets: 1}, r); err == nil {
+		t.Fatal("1 cell accepted")
+	}
+	if _, err := Random(RandomOptions{Cells: 10, Nets: -1}, r); err == nil {
+		t.Fatal("negative nets accepted")
+	}
+	if _, err := Random(RandomOptions{Cells: 10, Nets: 1, Locality: 1.5}, r); err == nil {
+		t.Fatal("locality > 1 accepted")
+	}
+}
+
+func TestRandomNetlistExpandsAndPartitions(t *testing.T) {
+	// End-to-end: random netlist → clique expansion builds a valid graph.
+	r := rng.NewFib(5)
+	nl, err := Random(RandomOptions{Cells: 60, Nets: 80, MaxPins: 4, Locality: 0.8}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nl.CliqueExpand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := nl.StarExpand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

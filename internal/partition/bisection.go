@@ -1,0 +1,233 @@
+// Package partition maintains bisection state: a two-way assignment of
+// vertices with incrementally-updated cut weight, per-side vertex weight,
+// and per-vertex move gains, plus the bucket gain structure used by the
+// move-based refinement algorithms.
+//
+// The gain of vertex v is defined as (external weight) − (internal
+// weight): the amount by which the weighted cut decreases if v moves to
+// the other side. The swap gain of an opposite-side pair (a, b) is
+// gain(a) + gain(b) − 2·w(a,b), matching the paper's
+// g_ab = g_a + g_b − 2δ(a,b).
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Bisection is a mutable two-way partition of a graph's vertices with
+// incrementally maintained cut, side weights, and vertex gains. Moves and
+// swaps cost O(deg).
+type Bisection struct {
+	g     *graph.Graph
+	side  []uint8
+	gain  []int64
+	cut   int64
+	sideW [2]int64
+}
+
+// New creates a Bisection from an explicit side assignment (entries must
+// be 0 or 1). The slice is copied.
+func New(g *graph.Graph, side []uint8) (*Bisection, error) {
+	if len(side) != g.N() {
+		return nil, fmt.Errorf("partition: side slice has %d entries for %d vertices", len(side), g.N())
+	}
+	b := &Bisection{g: g, side: append([]uint8(nil), side...)}
+	b.gain = make([]int64, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		if b.side[v] > 1 {
+			return nil, fmt.Errorf("partition: vertex %d assigned to side %d", v, b.side[v])
+		}
+		b.sideW[b.side[v]] += int64(g.VertexWeight(v))
+	}
+	b.recomputeGainsAndCut()
+	return b, nil
+}
+
+// NewRandom creates a random bisection balanced by vertex weight: vertices
+// are visited in uniformly random order and each is assigned to the
+// currently lighter side. For unit weights on an even vertex count this
+// yields an exactly balanced random bisection, as the paper's random
+// initial bisections require.
+func NewRandom(g *graph.Graph, r *rng.Rand) *Bisection {
+	side := make([]uint8, g.N())
+	perm := r.Perm(g.N())
+	var w [2]int64
+	for _, v := range perm {
+		s := uint8(0)
+		if w[1] < w[0] {
+			s = 1
+		} else if w[1] == w[0] && r.Bool() {
+			s = 1
+		}
+		side[v] = s
+		w[s] += int64(g.VertexWeight(int32(v)))
+	}
+	b, err := New(g, side)
+	if err != nil {
+		panic("partition: NewRandom produced invalid assignment: " + err.Error())
+	}
+	return b
+}
+
+// recomputeGainsAndCut rebuilds cut and all gains from scratch in O(m).
+func (b *Bisection) recomputeGainsAndCut() {
+	b.cut = 0
+	for v := int32(0); int(v) < b.g.N(); v++ {
+		var ext, intl int64
+		for _, e := range b.g.Neighbors(v) {
+			if b.side[e.To] != b.side[v] {
+				ext += int64(e.W)
+			} else {
+				intl += int64(e.W)
+			}
+		}
+		b.gain[v] = ext - intl
+		b.cut += ext
+	}
+	b.cut /= 2
+}
+
+// Graph returns the underlying graph.
+func (b *Bisection) Graph() *graph.Graph { return b.g }
+
+// N returns the number of vertices.
+func (b *Bisection) N() int { return b.g.N() }
+
+// Side returns the side (0 or 1) of v.
+func (b *Bisection) Side(v int32) uint8 { return b.side[v] }
+
+// Sides returns a copy of the side assignment.
+func (b *Bisection) Sides() []uint8 { return append([]uint8(nil), b.side...) }
+
+// Cut returns the weighted cut.
+func (b *Bisection) Cut() int64 { return b.cut }
+
+// SideWeight returns the total vertex weight on side s.
+func (b *Bisection) SideWeight(s uint8) int64 { return b.sideW[s] }
+
+// Imbalance returns |w(side 0) − w(side 1)|.
+func (b *Bisection) Imbalance() int64 {
+	d := b.sideW[0] - b.sideW[1]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// CountSides returns the number of vertices on each side.
+func (b *Bisection) CountSides() (n0, n1 int) {
+	for _, s := range b.side {
+		if s == 0 {
+			n0++
+		} else {
+			n1++
+		}
+	}
+	return n0, n1
+}
+
+// Gain returns the cut decrease achieved by moving v across.
+func (b *Bisection) Gain(v int32) int64 { return b.gain[v] }
+
+// SwapGain returns the cut decrease achieved by exchanging a and b, which
+// must be on opposite sides: gain(a) + gain(b) − 2·w(a,b).
+func (b *Bisection) SwapGain(a, v int32) int64 {
+	return b.gain[a] + b.gain[v] - 2*int64(b.g.EdgeWeight(a, v))
+}
+
+// Move transfers v to the other side, updating cut, side weights, and the
+// gains of v and its neighbors in O(deg(v)).
+func (b *Bisection) Move(v int32) {
+	old := b.side[v]
+	b.cut -= b.gain[v]
+	b.gain[v] = -b.gain[v]
+	b.side[v] = 1 - old
+	w := int64(b.g.VertexWeight(v))
+	b.sideW[old] -= w
+	b.sideW[1-old] += w
+	for _, e := range b.g.Neighbors(v) {
+		if b.side[e.To] == b.side[v] {
+			// e.To was on the destination side: the edge left the cut, so
+			// moving e.To would now re-create it.
+			b.gain[e.To] -= 2 * int64(e.W)
+		} else {
+			b.gain[e.To] += 2 * int64(e.W)
+		}
+	}
+}
+
+// Swap exchanges opposite-side vertices a and v (a convenience for the
+// KL pairwise interchange). It panics if they share a side.
+func (b *Bisection) Swap(a, v int32) {
+	if b.side[a] == b.side[v] {
+		panic("partition: Swap on same-side vertices")
+	}
+	b.Move(a)
+	b.Move(v)
+}
+
+// Clone returns an independent copy sharing the underlying (immutable)
+// graph.
+func (b *Bisection) Clone() *Bisection {
+	return &Bisection{
+		g:     b.g,
+		side:  append([]uint8(nil), b.side...),
+		gain:  append([]int64(nil), b.gain...),
+		cut:   b.cut,
+		sideW: b.sideW,
+	}
+}
+
+// Assign overwrites this bisection's state from another (same graph).
+func (b *Bisection) Assign(from *Bisection) {
+	if b.g != from.g {
+		panic("partition: Assign across different graphs")
+	}
+	copy(b.side, from.side)
+	copy(b.gain, from.gain)
+	b.cut = from.cut
+	b.sideW = from.sideW
+}
+
+// Validate recomputes all incremental state from scratch and returns an
+// error if any cached value has drifted. Used by tests and the harness's
+// paranoid mode.
+func (b *Bisection) Validate() error {
+	fresh, err := New(b.g, b.side)
+	if err != nil {
+		return err
+	}
+	if fresh.cut != b.cut {
+		return fmt.Errorf("partition: cached cut %d != recomputed %d", b.cut, fresh.cut)
+	}
+	if fresh.sideW != b.sideW {
+		return fmt.Errorf("partition: cached side weights %v != recomputed %v", b.sideW, fresh.sideW)
+	}
+	for v := range b.gain {
+		if b.gain[v] != fresh.gain[v] {
+			return fmt.Errorf("partition: cached gain[%d] = %d != recomputed %d", v, b.gain[v], fresh.gain[v])
+		}
+	}
+	return nil
+}
+
+// CutOf computes the weighted cut of an explicit side assignment without
+// building a Bisection.
+func CutOf(g *graph.Graph, side []uint8) int64 {
+	var cut int64
+	g.Edges(func(u, v, w int32) {
+		if side[u] != side[v] {
+			cut += int64(w)
+		}
+	})
+	return cut
+}
+
+// String returns a short summary.
+func (b *Bisection) String() string {
+	n0, n1 := b.CountSides()
+	return fmt.Sprintf("bisection{cut=%d sides=%d/%d weights=%d/%d}", b.cut, n0, n1, b.sideW[0], b.sideW[1])
+}

@@ -1,0 +1,315 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func mustGraph(g *graph.Graph, err error) *graph.Graph {
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestNewComputesCut(t *testing.T) {
+	// Path 0-1-2-3 with sides 0,0,1,1: cut = 1 (edge 1-2).
+	g := mustGraph(gen.Path(4))
+	b, err := New(g, []uint8{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cut() != 1 {
+		t.Fatalf("cut = %d, want 1", b.Cut())
+	}
+	if b.SideWeight(0) != 2 || b.SideWeight(1) != 2 {
+		t.Fatalf("side weights %d/%d", b.SideWeight(0), b.SideWeight(1))
+	}
+	// Alternating sides: every edge cut.
+	b2, err := New(g, []uint8{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Cut() != 3 {
+		t.Fatalf("alternating cut = %d, want 3", b2.Cut())
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	g := mustGraph(gen.Path(4))
+	if _, err := New(g, []uint8{0, 0, 1}); err == nil {
+		t.Fatal("short side slice accepted")
+	}
+	if _, err := New(g, []uint8{0, 0, 1, 2}); err == nil {
+		t.Fatal("side value 2 accepted")
+	}
+}
+
+func TestGainDefinition(t *testing.T) {
+	// Star: center 0 connected to 1,2,3. Sides: 0 on side 0, rest side 1.
+	b4 := graph.NewBuilder(4)
+	b4.AddEdge(0, 1)
+	b4.AddEdge(0, 2)
+	b4.AddEdge(0, 3)
+	g := b4.MustBuild()
+	b, err := New(g, []uint8{0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three edges are external to vertex 0: gain = 3.
+	if b.Gain(0) != 3 {
+		t.Fatalf("gain(0) = %d, want 3", b.Gain(0))
+	}
+	// Leaf 1 has its only edge external: gain = 1.
+	if b.Gain(1) != 1 {
+		t.Fatalf("gain(1) = %d, want 1", b.Gain(1))
+	}
+	b.Move(0)
+	if b.Cut() != 0 {
+		t.Fatalf("cut after move = %d, want 0", b.Cut())
+	}
+	if b.Gain(0) != -3 {
+		t.Fatalf("gain(0) after move = %d, want -3", b.Gain(0))
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapGainMatchesPaperFormula(t *testing.T) {
+	// Two adjacent vertices on opposite sides: swapping them leaves the
+	// edge in the cut, so the swap gain must subtract 2w(a,b).
+	g := mustGraph(gen.Path(2))
+	b, err := New(g, []uint8{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gain(0) = gain(1) = 1, w(0,1) = 1, so swap gain = 1+1-2 = 0.
+	if got := b.SwapGain(0, 1); got != 0 {
+		t.Fatalf("swap gain = %d, want 0", got)
+	}
+	before := b.Cut()
+	b.Swap(0, 1)
+	if b.Cut() != before {
+		t.Fatalf("cut changed by swap with zero gain: %d -> %d", before, b.Cut())
+	}
+}
+
+func TestSwapPanicsOnSameSide(t *testing.T) {
+	g := mustGraph(gen.Path(3))
+	b, _ := New(g, []uint8{0, 0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Swap on same side did not panic")
+		}
+	}()
+	b.Swap(0, 1)
+}
+
+func TestMoveUpdatesAreConsistent(t *testing.T) {
+	// Property: after any random sequence of moves, all incremental state
+	// matches a from-scratch recomputation.
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 2 + 2*r.Intn(20)
+		g, err := gen.GNP(n, 0.2, r)
+		if err != nil {
+			return false
+		}
+		b := NewRandom(g, r)
+		for k := 0; k < 50; k++ {
+			b.Move(int32(r.Intn(n)))
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveCutDeltaEqualsGain(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewFib(seed)
+		n := 4 + r.Intn(30)
+		g, err := gen.GNP(n, 0.3, r)
+		if err != nil {
+			return false
+		}
+		b := NewRandom(g, r)
+		for k := 0; k < 25; k++ {
+			v := int32(r.Intn(n))
+			want := b.Cut() - b.Gain(v)
+			b.Move(v)
+			if b.Cut() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRandomBalanced(t *testing.T) {
+	r := rng.NewFib(17)
+	for _, n := range []int{2, 10, 100, 1000} {
+		g := mustGraph(gen.Cycle(max(n, 3)))
+		b := NewRandom(g, r)
+		if b.Imbalance() > 1 {
+			t.Fatalf("n=%d: imbalance %d", n, b.Imbalance())
+		}
+		if g.N()%2 == 0 && b.Imbalance() != 0 {
+			t.Fatalf("n=%d: even graph imbalance %d", n, b.Imbalance())
+		}
+	}
+}
+
+func TestNewRandomBalancedWeighted(t *testing.T) {
+	// Weighted vertices: greedy assignment should keep imbalance at most
+	// the max vertex weight.
+	bld := graph.NewBuilder(6)
+	bld.AddEdge(0, 1)
+	for v := int32(0); v < 6; v++ {
+		bld.SetVertexWeight(v, 1+v%3)
+	}
+	g := bld.MustBuild()
+	r := rng.NewFib(3)
+	for trial := 0; trial < 20; trial++ {
+		b := NewRandom(g, r)
+		if b.Imbalance() > 3 {
+			t.Fatalf("weighted imbalance %d exceeds max vertex weight", b.Imbalance())
+		}
+	}
+}
+
+func TestNewRandomIsRandom(t *testing.T) {
+	g := mustGraph(gen.Cycle(50))
+	r := rng.NewFib(5)
+	a := NewRandom(g, r)
+	b := NewRandom(g, r)
+	diff := 0
+	for v := int32(0); v < 50; v++ {
+		if a.Side(v) != b.Side(v) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("two random bisections are identical")
+	}
+}
+
+func TestCloneAndAssign(t *testing.T) {
+	r := rng.NewFib(9)
+	g := mustGraph(gen.Grid(6, 6))
+	b := NewRandom(g, r)
+	c := b.Clone()
+	c.Move(0)
+	if b.Side(0) == c.Side(0) {
+		t.Fatal("Clone shares state")
+	}
+	b.Assign(c)
+	if b.Cut() != c.Cut() || b.Side(0) != c.Side(0) {
+		t.Fatal("Assign did not copy state")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignPanicsAcrossGraphs(t *testing.T) {
+	r := rng.NewFib(2)
+	g1 := mustGraph(gen.Path(4))
+	g2 := mustGraph(gen.Path(4))
+	a := NewRandom(g1, r)
+	b := NewRandom(g2, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Assign across graphs did not panic")
+		}
+	}()
+	a.Assign(b)
+}
+
+func TestCutOf(t *testing.T) {
+	g := mustGraph(gen.Cycle(6))
+	// Contiguous halves of a cycle cut exactly 2 edges.
+	if got := CutOf(g, []uint8{0, 0, 0, 1, 1, 1}); got != 2 {
+		t.Fatalf("cycle contiguous cut = %d, want 2", got)
+	}
+	if got := CutOf(g, []uint8{0, 1, 0, 1, 0, 1}); got != 6 {
+		t.Fatalf("cycle alternating cut = %d, want 6", got)
+	}
+}
+
+func TestCountSides(t *testing.T) {
+	g := mustGraph(gen.Path(5))
+	b, _ := New(g, []uint8{0, 0, 0, 1, 1})
+	n0, n1 := b.CountSides()
+	if n0 != 3 || n1 != 2 {
+		t.Fatalf("sides %d/%d", n0, n1)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	g := mustGraph(gen.Path(4))
+	b, _ := New(g, []uint8{0, 0, 1, 1})
+	if b.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestWeightedCut(t *testing.T) {
+	bld := graph.NewBuilder(4)
+	bld.AddWeightedEdge(0, 2, 5)
+	bld.AddWeightedEdge(1, 3, 7)
+	bld.AddWeightedEdge(0, 1, 100)
+	g := bld.MustBuild()
+	b, err := New(g, []uint8{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cut() != 12 {
+		t.Fatalf("weighted cut = %d, want 12", b.Cut())
+	}
+	if b.Gain(0) != 5-100 {
+		t.Fatalf("gain(0) = %d, want -95", b.Gain(0))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkMove(b *testing.B) {
+	r := rng.NewFib(1)
+	g, err := gen.BReg(5000, 16, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bis := NewRandom(g, r)
+	order := r.Perm(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bis.Move(int32(order[i%len(order)]))
+	}
+}
+
+func BenchmarkNewRandom(b *testing.B) {
+	r := rng.NewFib(1)
+	g, err := gen.BReg(5000, 16, 3, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewRandom(g, r)
+	}
+}

@@ -1,0 +1,158 @@
+package partition
+
+import "fmt"
+
+// GainBuckets is the classical Fiduccia–Mattheyses bucket structure: a
+// dense array of doubly-linked vertex lists indexed by gain, supporting
+// O(1) insert/remove/update and amortized-O(1) max extraction. Gains must
+// lie in [−maxGain, +maxGain], where maxGain is the maximum weighted
+// degree of the graph.
+//
+// Within a bucket, vertices are kept in LIFO order, the tie-breaking rule
+// of the original FM paper.
+type GainBuckets struct {
+	maxGain int64
+	head    []int32 // bucket index -> first vertex, or -1
+	next    []int32 // vertex -> successor in its bucket, or -1
+	prev    []int32 // vertex -> predecessor, or -1 if first
+	bucket  []int32 // vertex -> bucket index, or -1 if absent
+	gain    []int64 // vertex -> current gain (valid when present)
+	maxIdx  int     // highest possibly-non-empty bucket (lazily lowered)
+	size    int
+}
+
+// maxBucketSpan bounds the allocated bucket array; 2·span+1 int32 heads.
+// Weighted degrees beyond this would indicate misuse (the repository's
+// graphs stay in the low thousands).
+const maxBucketSpan = 1 << 24
+
+// NewGainBuckets returns an empty structure for n vertices with gains in
+// [−maxGain, maxGain].
+func NewGainBuckets(n int, maxGain int64) (*GainBuckets, error) {
+	if maxGain < 0 {
+		return nil, fmt.Errorf("partition: negative gain bound %d", maxGain)
+	}
+	if maxGain > maxBucketSpan {
+		return nil, fmt.Errorf("partition: gain bound %d exceeds supported span %d", maxGain, maxBucketSpan)
+	}
+	gb := &GainBuckets{
+		maxGain: maxGain,
+		head:    make([]int32, 2*maxGain+1),
+		next:    make([]int32, n),
+		prev:    make([]int32, n),
+		bucket:  make([]int32, n),
+		gain:    make([]int64, n),
+		maxIdx:  -1,
+	}
+	for i := range gb.head {
+		gb.head[i] = -1
+	}
+	for i := range gb.bucket {
+		gb.bucket[i] = -1
+	}
+	return gb, nil
+}
+
+// Len returns the number of vertices currently in the structure.
+func (gb *GainBuckets) Len() int { return gb.size }
+
+// Contains reports whether v is present.
+func (gb *GainBuckets) Contains(v int32) bool { return gb.bucket[v] >= 0 }
+
+// GainOf returns the stored gain of v; v must be present.
+func (gb *GainBuckets) GainOf(v int32) int64 { return gb.gain[v] }
+
+func (gb *GainBuckets) idx(gain int64) int32 {
+	if gain < -gb.maxGain || gain > gb.maxGain {
+		panic(fmt.Sprintf("partition: gain %d outside [−%d, %d]", gain, gb.maxGain, gb.maxGain))
+	}
+	return int32(gain + gb.maxGain)
+}
+
+// Add inserts v with the given gain. v must not be present.
+func (gb *GainBuckets) Add(v int32, gain int64) {
+	if gb.bucket[v] >= 0 {
+		panic("partition: Add of vertex already present")
+	}
+	i := gb.idx(gain)
+	gb.bucket[v] = i
+	gb.gain[v] = gain
+	gb.prev[v] = -1
+	gb.next[v] = gb.head[i]
+	if gb.head[i] >= 0 {
+		gb.prev[gb.head[i]] = v
+	}
+	gb.head[i] = v
+	if int(i) > gb.maxIdx {
+		gb.maxIdx = int(i)
+	}
+	gb.size++
+}
+
+// Remove deletes v. v must be present.
+func (gb *GainBuckets) Remove(v int32) {
+	i := gb.bucket[v]
+	if i < 0 {
+		panic("partition: Remove of absent vertex")
+	}
+	if gb.prev[v] >= 0 {
+		gb.next[gb.prev[v]] = gb.next[v]
+	} else {
+		gb.head[i] = gb.next[v]
+	}
+	if gb.next[v] >= 0 {
+		gb.prev[gb.next[v]] = gb.prev[v]
+	}
+	gb.bucket[v] = -1
+	gb.size--
+}
+
+// Update changes v's gain (no-op if unchanged). v must be present.
+func (gb *GainBuckets) Update(v int32, gain int64) {
+	if gb.bucket[v] < 0 {
+		panic("partition: Update of absent vertex")
+	}
+	if gb.gain[v] == gain {
+		return
+	}
+	gb.Remove(v)
+	gb.Add(v, gain)
+}
+
+// Max returns the vertex with maximum gain (LIFO within ties) and its
+// gain. ok is false when empty.
+func (gb *GainBuckets) Max() (v int32, gain int64, ok bool) {
+	for gb.maxIdx >= 0 {
+		if h := gb.head[gb.maxIdx]; h >= 0 {
+			return h, int64(gb.maxIdx) - gb.maxGain, true
+		}
+		gb.maxIdx--
+	}
+	return -1, 0, false
+}
+
+// PopMax removes and returns the maximum-gain vertex.
+func (gb *GainBuckets) PopMax() (v int32, gain int64, ok bool) {
+	v, gain, ok = gb.Max()
+	if ok {
+		gb.Remove(v)
+	}
+	return v, gain, ok
+}
+
+// Descending visits vertices in non-increasing gain order, stopping early
+// when fn returns false. The structure must not be mutated during the
+// walk.
+func (gb *GainBuckets) Descending(fn func(v int32, gain int64) bool) {
+	start := gb.maxIdx
+	if top := len(gb.head) - 1; start > top {
+		start = top
+	}
+	for i := start; i >= 0; i-- {
+		for v := gb.head[i]; v >= 0; v = gb.next[v] {
+			if !fn(v, int64(i)-gb.maxGain) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGainBucketsBasics(t *testing.T) {
+	gb, err := NewGainBuckets(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.Len() != 0 {
+		t.Fatal("new structure not empty")
+	}
+	if _, _, ok := gb.Max(); ok {
+		t.Fatal("Max on empty returned ok")
+	}
+	gb.Add(0, 3)
+	gb.Add(1, -2)
+	gb.Add(2, 10)
+	gb.Add(3, 10)
+	if gb.Len() != 4 {
+		t.Fatalf("len = %d", gb.Len())
+	}
+	v, g, ok := gb.Max()
+	if !ok || g != 10 {
+		t.Fatalf("max = (%d,%d,%v)", v, g, ok)
+	}
+	// LIFO tie-break: vertex 3 was added after 2.
+	if v != 3 {
+		t.Fatalf("max tie-break = %d, want 3 (LIFO)", v)
+	}
+	if !gb.Contains(1) || gb.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if gb.GainOf(1) != -2 {
+		t.Fatalf("GainOf(1) = %d", gb.GainOf(1))
+	}
+}
+
+func TestGainBucketsPopOrder(t *testing.T) {
+	gb, err := NewGainBuckets(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gains := []int64{4, -6, 0, 6, -1, 2}
+	for v, g := range gains {
+		gb.Add(int32(v), g)
+	}
+	var got []int64
+	for {
+		_, g, ok := gb.PopMax()
+		if !ok {
+			break
+		}
+		got = append(got, g)
+	}
+	want := append([]int64(nil), gains...)
+	sort.Slice(want, func(i, j int) bool { return want[i] > want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("popped %d items", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGainBucketsUpdate(t *testing.T) {
+	gb, _ := NewGainBuckets(3, 5)
+	gb.Add(0, 1)
+	gb.Add(1, 2)
+	gb.Update(0, 5)
+	v, g, ok := gb.Max()
+	if !ok || v != 0 || g != 5 {
+		t.Fatalf("after update max = (%d,%d)", v, g)
+	}
+	gb.Update(0, -5)
+	v, g, _ = gb.Max()
+	if v != 1 || g != 2 {
+		t.Fatalf("after downdate max = (%d,%d)", v, g)
+	}
+	// No-op update must not disturb structure.
+	gb.Update(1, 2)
+	if gb.Len() != 2 {
+		t.Fatal("no-op update changed size")
+	}
+}
+
+func TestGainBucketsRemoveMiddle(t *testing.T) {
+	gb, _ := NewGainBuckets(4, 3)
+	// All in same bucket; list order (LIFO) is 3,2,1,0.
+	for v := int32(0); v < 4; v++ {
+		gb.Add(v, 1)
+	}
+	gb.Remove(2) // middle of list
+	gb.Remove(3) // head
+	seen := map[int32]bool{}
+	gb.Descending(func(v int32, g int64) bool {
+		seen[v] = true
+		return true
+	})
+	if len(seen) != 2 || !seen[0] || !seen[1] {
+		t.Fatalf("after removals saw %v", seen)
+	}
+}
+
+func TestGainBucketsDescending(t *testing.T) {
+	gb, _ := NewGainBuckets(5, 8)
+	gains := []int64{5, -8, 3, 3, 0}
+	for v, g := range gains {
+		gb.Add(int32(v), g)
+	}
+	var walked []int64
+	gb.Descending(func(v int32, g int64) bool {
+		if g != gains[v] {
+			t.Fatalf("vertex %d reported gain %d, want %d", v, g, gains[v])
+		}
+		walked = append(walked, g)
+		return true
+	})
+	for i := 1; i < len(walked); i++ {
+		if walked[i] > walked[i-1] {
+			t.Fatalf("Descending not monotone: %v", walked)
+		}
+	}
+	// Early stop.
+	count := 0
+	gb.Descending(func(int32, int64) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestGainBucketsPanics(t *testing.T) {
+	gb, _ := NewGainBuckets(2, 4)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	gb.Add(0, 1)
+	mustPanic("double add", func() { gb.Add(0, 2) })
+	mustPanic("remove absent", func() { gb.Remove(1) })
+	mustPanic("update absent", func() { gb.Update(1, 0) })
+	mustPanic("gain out of range", func() { gb.Add(1, 5) })
+}
+
+func TestGainBucketsErrors(t *testing.T) {
+	if _, err := NewGainBuckets(2, -1); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+	if _, err := NewGainBuckets(2, maxBucketSpan+1); err == nil {
+		t.Fatal("huge bound accepted")
+	}
+}
+
+func TestGainBucketsStress(t *testing.T) {
+	// Random adds/removes/updates against a reference map.
+	r := rng.NewFib(33)
+	const n = 200
+	const bound = 50
+	gb, err := NewGainBuckets(n, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[int32]int64{}
+	for step := 0; step < 20000; step++ {
+		v := int32(r.Intn(n))
+		switch r.Intn(3) {
+		case 0:
+			if _, in := ref[v]; !in {
+				g := int64(r.Intn(2*bound+1) - bound)
+				gb.Add(v, g)
+				ref[v] = g
+			}
+		case 1:
+			if _, in := ref[v]; in {
+				gb.Remove(v)
+				delete(ref, v)
+			}
+		case 2:
+			if _, in := ref[v]; in {
+				g := int64(r.Intn(2*bound+1) - bound)
+				gb.Update(v, g)
+				ref[v] = g
+			}
+		}
+		if gb.Len() != len(ref) {
+			t.Fatalf("step %d: size %d != ref %d", step, gb.Len(), len(ref))
+		}
+	}
+	// Final check: max agrees with reference.
+	if len(ref) > 0 {
+		var want int64 = -bound - 1
+		for _, g := range ref {
+			if g > want {
+				want = g
+			}
+		}
+		_, g, ok := gb.Max()
+		if !ok || g != want {
+			t.Fatalf("final max %d, want %d", g, want)
+		}
+	}
+}
+
+func BenchmarkGainBucketsChurn(b *testing.B) {
+	const n = 5000
+	gb, err := NewGainBuckets(n, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.NewFib(1)
+	for v := int32(0); v < n; v++ {
+		gb.Add(v, int64(r.Intn(129)-64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int32(r.Intn(n))
+		gb.Update(v, int64(r.Intn(129)-64))
+	}
+}

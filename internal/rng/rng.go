@@ -1,0 +1,122 @@
+// Package rng provides the deterministic random number generators used
+// throughout the repository.
+//
+// The paper generated all random numbers with "a Fibonacci random number
+// generator"; this package provides a lagged-Fibonacci generator with the
+// classical (24, 55) lags, together with a SplitMix64 generator used for
+// seeding and for cheap independent streams. Both satisfy Source, a small
+// interface compatible with the needs of the graph generators and the
+// randomized algorithms (uniform 64-bit words, bounded integers, floats,
+// permutations).
+//
+// Everything here is deterministic given a seed, so every experiment in
+// the repository is exactly reproducible.
+package rng
+
+// Source is the minimal random source used by the rest of the repository.
+// Implementations must be deterministic functions of their seed.
+type Source interface {
+	// Uint64 returns a uniformly distributed 64-bit word.
+	Uint64() uint64
+}
+
+// Rand wraps a Source with the derived distributions the algorithms need.
+type Rand struct {
+	src Source
+}
+
+// New returns a Rand drawing from src.
+func New(src Source) *Rand { return &Rand{src: src} }
+
+// NewFib returns a Rand backed by a lagged-Fibonacci source seeded with seed.
+func NewFib(seed uint64) *Rand { return New(NewFibonacci(seed)) }
+
+// Uint64 returns a uniformly distributed 64-bit word.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Uses Lemire's multiply-shift rejection method, which is unbiased.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n). It panics if
+// n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire's method with rejection to remove bias.
+	for {
+		v := r.src.Uint64()
+		hi, lo := mul64(v, n)
+		if lo < n {
+			// Threshold test: only reject in the biased band.
+			thresh := -n % n
+			if lo < thresh {
+				continue
+			}
+		}
+		return hi
+	}
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits.
+	return float64(r.src.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns an unbiased random boolean.
+func (r *Rand) Bool() bool { return r.src.Uint64()&1 == 1 }
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p uniformly at random (Fisher–Yates).
+func (r *Rand) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleInt32 permutes p uniformly at random (Fisher–Yates).
+func (r *Rand) ShuffleInt32(p []int32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Split returns a new independent Rand derived from this one. The child
+// stream is seeded from the parent, so a single experiment seed fans out
+// into reproducible per-task streams.
+func (r *Rand) Split() *Rand {
+	return NewFib(r.Uint64())
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}

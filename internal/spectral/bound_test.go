@@ -1,0 +1,132 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func tightOpts() Options { return Options{MaxIters: 20000, Tol: 1e-12} }
+
+func TestLambda2Cycle(t *testing.T) {
+	// λ₂ of the n-cycle is 2 − 2cos(2π/n).
+	for _, n := range []int{6, 12, 24} {
+		g := mustGraph(gen.Cycle(n))
+		got, err := Lambda2(g, tightOpts(), rng.NewFib(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 - 2*math.Cos(2*math.Pi/float64(n))
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("C%d: λ₂ = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLambda2CompleteGraph(t *testing.T) {
+	// λ₂ of K_n is n.
+	g := mustGraph(gen.Complete(8))
+	got, err := Lambda2(g, tightOpts(), rng.NewFib(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-8) > 1e-6 {
+		t.Fatalf("K8: λ₂ = %v, want 8", got)
+	}
+}
+
+func TestLambda2Disconnected(t *testing.T) {
+	// Disconnected graphs have λ₂ = 0.
+	g := mustGraph(gen.CycleCollection([]int{4, 4}))
+	got, err := Lambda2(g, tightOpts(), rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-6 {
+		t.Fatalf("disconnected λ₂ = %v, want ~0", got)
+	}
+}
+
+func TestBisectionLowerBoundIsValid(t *testing.T) {
+	// The bound must not exceed the exact bisection width on small graphs
+	// (modulo the estimation slack of power iteration, which converges
+	// from above only in the limit — use a generous tolerance factor).
+	r := rng.NewFib(4)
+	for _, name := range []string{"C12", "K8", "Q3", "G44"} {
+		var width int64
+		var bound float64
+		switch name {
+		case "C12":
+			g := mustGraph(gen.Cycle(12))
+			w, _, err := exact.BisectionWidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BisectionLowerBound(g, tightOpts(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			width, bound = w, b
+		case "K8":
+			g := mustGraph(gen.Complete(8))
+			w, _, err := exact.BisectionWidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BisectionLowerBound(g, tightOpts(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			width, bound = w, b
+		case "Q3":
+			g := mustGraph(gen.Hypercube(3))
+			w, _, err := exact.BisectionWidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BisectionLowerBound(g, tightOpts(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			width, bound = w, b
+		case "G44":
+			g := mustGraph(gen.Grid(4, 4))
+			w, _, err := exact.BisectionWidth(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BisectionLowerBound(g, tightOpts(), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			width, bound = w, b
+		}
+		if bound > float64(width)+1e-6 {
+			t.Fatalf("%s: spectral bound %.4f exceeds exact width %d", name, bound, width)
+		}
+		if bound < 0 {
+			t.Fatalf("%s: negative bound %v", name, bound)
+		}
+	}
+}
+
+func TestBisectionLowerBoundTightOnKn(t *testing.T) {
+	// For K_n the bound λ₂·n/4 = n²/4 equals the exact width for even n.
+	g := mustGraph(gen.Complete(8))
+	b, err := BisectionLowerBound(g, tightOpts(), rng.NewFib(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-16) > 1e-5 {
+		t.Fatalf("K8 bound %v, want 16", b)
+	}
+}
+
+func TestBisectionLowerBoundErrors(t *testing.T) {
+	if _, err := BisectionLowerBound(mustGraph(gen.Cycle(5)), Options{}, rng.NewFib(1)); err == nil {
+		t.Fatal("odd n accepted")
+	}
+}
