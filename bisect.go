@@ -18,6 +18,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/spectral"
+	"repro/internal/trace"
 )
 
 // Core types, re-exported from the internal packages. Aliases keep the
@@ -78,6 +79,24 @@ type (
 	RandomBisector = core.Random
 	// GreedyBisector grows one side by BFS.
 	GreedyBisector = core.Greedy
+
+	// TraceEvent is one observability event (see docs/OBSERVABILITY.md
+	// for the schema).
+	TraceEvent = trace.Event
+	// TraceEventType discriminates trace events.
+	TraceEventType = trace.Type
+	// TraceObserver receives trace events; nil means no tracing at zero
+	// cost.
+	TraceObserver = trace.Observer
+	// TraceRecorder is a ring-buffered in-memory observer.
+	TraceRecorder = trace.Recorder
+	// TraceJSONL streams events as JSON Lines (deterministic by default).
+	TraceJSONL = trace.JSONL
+	// TraceCSV flattens events into a CSV convergence-curve table.
+	TraceCSV = trace.CSVCurve
+	// ObservableBisector is a Bisector whose runs can report trace
+	// events.
+	ObservableBisector = core.Observable
 )
 
 // NewRand returns a deterministic random source (lagged-Fibonacci) seeded
@@ -94,6 +113,29 @@ func NewBisector(name string) (Bisector, error) { return core.New(name) }
 
 // BisectorNames lists the registry's algorithm names.
 func BisectorNames() []string { return core.Names() }
+
+// Observability (docs/OBSERVABILITY.md).
+
+// WithObserver attaches obs to b if b is observable; otherwise (or when
+// obs is nil) it returns b unchanged. Attaching an observer never
+// changes the bisections an algorithm produces.
+func WithObserver(b Bisector, obs TraceObserver) Bisector { return core.WithObserver(b, obs) }
+
+// NewTraceRecorder returns a ring-buffered in-memory observer keeping at
+// most capacity events (capacity ≤ 0 = unbounded).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// NewTraceJSONL returns an observer streaming one JSON object per event
+// line to w; output is byte-identical across runs of the same seed
+// unless its Timing field is set.
+func NewTraceJSONL(w io.Writer) *TraceJSONL { return trace.NewJSONL(w) }
+
+// NewTraceCSV returns an observer writing a flat CSV convergence-curve
+// table to w; call Flush when done.
+func NewTraceCSV(w io.Writer) *TraceCSV { return trace.NewCSVCurve(w) }
+
+// MultiTraceObserver fans events out to every non-nil argument.
+func MultiTraceObserver(obs ...TraceObserver) TraceObserver { return trace.Multi(obs...) }
 
 // NewBisection wraps an explicit side assignment (entries 0/1).
 func NewBisection(g *Graph, side []uint8) (*Bisection, error) { return partition.New(g, side) }

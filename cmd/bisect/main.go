@@ -5,14 +5,19 @@
 //
 //	bisect -in graph.el [-format edgelist|metis] [-alg ckl] [-starts 2]
 //	       [-seed 1989] [-out sides.txt] [-validate]
+//	       [-trace events.jsonl] [-trace-format jsonl|csv] [-trace-timing]
 //
 // The output file (if requested) has one line per vertex: "<id> <side>".
+// -trace streams per-pass/per-temperature/per-level events ("-" =
+// stdout); see docs/OBSERVABILITY.md for the schema. Without
+// -trace-timing the stream is byte-identical across runs of one seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,6 +39,9 @@ func run() error {
 	seed := flag.Uint64("seed", 1989, "random seed")
 	out := flag.String("out", "", "write per-vertex side assignment to this file")
 	validate := flag.Bool("validate", false, "re-verify the result from scratch before reporting")
+	tracePath := flag.String("trace", "", "stream trace events to this file (\"-\" = stdout); see docs/OBSERVABILITY.md")
+	traceFormat := flag.String("trace-format", "jsonl", "trace output format: jsonl or csv")
+	traceTiming := flag.Bool("trace-timing", false, "include wall-clock/allocation counters in the trace (non-deterministic)")
 	flag.Parse()
 
 	if *in == "" {
@@ -68,13 +76,62 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Optional tracing: every pass/temperature/level event streams to
+	// the chosen sink; the driver's own summary event goes last.
+	var obs bisect.TraceObserver
+	var flushTrace func() error
+	if *tracePath != "" {
+		w := os.Stdout
+		if *tracePath != "-" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer tf.Close()
+			w = tf
+		}
+		switch *traceFormat {
+		case "jsonl":
+			j := bisect.NewTraceJSONL(w)
+			j.Timing = *traceTiming
+			obs, flushTrace = j, j.Err
+		case "csv":
+			c := bisect.NewTraceCSV(w)
+			c.Timing = *traceTiming
+			obs, flushTrace = c, c.Flush
+		default:
+			return fmt.Errorf("unknown -trace-format %q (want jsonl or csv)", *traceFormat)
+		}
+	}
+
 	r := bisect.NewRand(*seed)
+	var memBefore runtime.MemStats
+	if obs != nil {
+		runtime.ReadMemStats(&memBefore)
+	}
 	t0 := time.Now()
-	best, err := bisect.BestOf{Inner: a, Starts: *starts}.Bisect(g, r)
+	best, err := bisect.BestOf{Inner: a, Starts: *starts, Observer: obs}.Bisect(g, r)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(t0)
+	if obs != nil {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		obs.Observe(bisect.TraceEvent{
+			Type: "run_done", Algo: "bisect", Index: *starts,
+			Cut: best.Cut(), BestCut: best.Cut(), Imbalance: best.Imbalance(),
+			ElapsedNS:  elapsed.Nanoseconds(),
+			AllocBytes: memAfter.TotalAlloc - memBefore.TotalAlloc,
+		})
+		if err := flushTrace(); err != nil {
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		if *tracePath != "-" {
+			fmt.Printf("trace written to %s (%s)\n", *tracePath, *traceFormat)
+		}
+	}
 
 	if *validate {
 		if err := best.Validate(); err != nil {

@@ -22,10 +22,12 @@ package anneal
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Options configures the annealing schedule. Zero values select the
@@ -62,6 +64,12 @@ type Options struct {
 	// smaller = slower, higher-quality cooling). Ignored for geometric
 	// cooling.
 	Delta float64
+	// Observer, when non-nil, receives move_batch, temp_done, and
+	// run_done trace events (see docs/OBSERVABILITY.md) — the
+	// temperature/acceptance-ratio decay the freezing criterion acts on.
+	// Observers never draw from the random stream, so attaching one
+	// cannot change the run; nil costs nothing.
+	Observer trace.Observer
 }
 
 // CoolingRule selects the temperature decrement rule.
@@ -160,6 +168,12 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 		return -float64(b.Gain(v)) + o.Alpha*(nd*nd-d*d)
 	}
 
+	obs := o.Observer
+	var runStart time.Time
+	if obs != nil {
+		runStart = time.Now()
+	}
+
 	temp := calibrateStartTemp(b, o, delta, r)
 	st.StartTemp = temp
 
@@ -171,6 +185,11 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 	for t := 0; t < o.MaxTemps && frozen < o.FreezeLim; t++ {
 		var accepted int64
 		improvedBest := false
+		var tempStart time.Time
+		batchIdx := 0
+		if obs != nil {
+			tempStart = time.Now()
+		}
 		// Running cost statistics for the adaptive schedule.
 		cur := cost(b)
 		var costSum, costSumSq float64
@@ -202,11 +221,29 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 			}
 			costSum += cur
 			costSumSq += cur * cur
+			if obs != nil && (k+1)%trace.SAMoveBatchSize == 0 {
+				obs.Observe(trace.Event{
+					Type: trace.TypeMoveBatch, Algo: "sa", Index: batchIdx,
+					Cut: b.Cut(), BestCut: best.Cut(), Imbalance: b.Imbalance(),
+					Trials: k + 1, Accepted: accepted,
+					AcceptRatio: float64(accepted) / float64(k+1), Temp: temp,
+				})
+				batchIdx++
+			}
 		}
 		st.Temperatures++
 		st.Trials += trialsPerTemp
 		st.Accepted += accepted
 		st.FinalTemp = temp
+		if obs != nil {
+			obs.Observe(trace.Event{
+				Type: trace.TypeTempDone, Algo: "sa", Index: t,
+				Cut: b.Cut(), BestCut: best.Cut(), Imbalance: b.Imbalance(),
+				Trials: trialsPerTemp, Accepted: accepted,
+				AcceptRatio: float64(accepted) / float64(trialsPerTemp), Temp: temp,
+				ElapsedNS: time.Since(tempStart).Nanoseconds(),
+			})
+		}
 		if o.Cooling == CoolAdaptive {
 			mean := costSum / float64(trialsPerTemp)
 			variance := costSumSq/float64(trialsPerTemp) - mean*mean
@@ -229,6 +266,20 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 	b.Assign(best)
 	partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
 	st.FinalCut = b.Cut()
+	if obs != nil {
+		ratio := 0.0
+		if st.Trials > 0 {
+			ratio = float64(st.Accepted) / float64(st.Trials)
+		}
+		obs.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: "sa", Index: st.Temperatures,
+			Cut: st.FinalCut, BestCut: st.FinalCut, Imbalance: b.Imbalance(),
+			Gain: st.InitialCut - st.FinalCut,
+			Trials: st.Trials, Accepted: st.Accepted,
+			AcceptRatio: ratio, Temp: st.FinalTemp,
+			ElapsedNS: time.Since(runStart).Nanoseconds(),
+		})
+	}
 	return st, nil
 }
 

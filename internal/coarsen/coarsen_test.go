@@ -240,7 +240,7 @@ func TestCompactOnceProducesBalancedBisection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CompactOnce(g, matching.RandomMaximal, randomInitial, nil, r)
+	b, err := CompactOnce(g, matching.RandomMaximal, randomInitial, nil, r, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestCompactOnceProducesBalancedBisection(t *testing.T) {
 func TestCompactOnceEdgelessGraph(t *testing.T) {
 	g := graph.NewBuilder(6).MustBuild()
 	r := rng.NewFib(2)
-	b, err := CompactOnce(g, nil, randomInitial, nil, r)
+	b, err := CompactOnce(g, nil, randomInitial, nil, r, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestCompactOnceEdgelessGraph(t *testing.T) {
 
 func TestCompactOnceNeedsInitial(t *testing.T) {
 	g := mustGraph(gen.Cycle(6))
-	if _, err := CompactOnce(g, nil, nil, nil, rng.NewFib(1)); err == nil {
+	if _, err := CompactOnce(g, nil, nil, nil, rng.NewFib(1), nil); err == nil {
 		t.Fatal("nil initial accepted")
 	}
 }

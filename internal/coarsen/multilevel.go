@@ -7,6 +7,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // MatchFunc produces a matching of g (e.g. matching.RandomMaximal).
@@ -32,6 +33,10 @@ type MultilevelOptions struct {
 	MinRatio float64
 	// Match selects the matching policy (default matching.RandomMaximal).
 	Match MatchFunc
+	// Observer, when non-nil, receives level_done trace events for every
+	// coarsening contraction, the coarsest solve, and every uncoarsening
+	// projection (see docs/OBSERVABILITY.md); nil costs nothing.
+	Observer trace.Observer
 }
 
 func (o *MultilevelOptions) withDefaults() MultilevelOptions {
@@ -51,6 +56,7 @@ func (o *MultilevelOptions) withDefaults() MultilevelOptions {
 	if o.Match != nil {
 		out.Match = o.Match
 	}
+	out.Observer = o.Observer
 	return out
 }
 
@@ -83,6 +89,12 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 		}
 		levels = append(levels, c)
 		cur = c.Coarse
+		if o.Observer != nil {
+			o.Observer.Observe(trace.Event{
+				Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "coarsen",
+				Index: len(levels) - 1, Vertices: cur.N(), Edges: cur.M(),
+			})
+		}
 	}
 
 	// Coarsest solution.
@@ -94,6 +106,13 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 	partition.RepairBalance(b, minImb)
 	if refine != nil {
 		refine(b, r)
+	}
+	if o.Observer != nil {
+		o.Observer.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "initial",
+			Index: len(levels), Cut: b.Cut(), BestCut: b.Cut(),
+			Imbalance: b.Imbalance(), Vertices: cur.N(), Edges: cur.M(),
+		})
 	}
 
 	// Uncoarsening phase.
@@ -108,6 +127,13 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 		if refine != nil {
 			refine(b, r)
 		}
+		if o.Observer != nil {
+			o.Observer.Observe(trace.Event{
+				Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "uncoarsen",
+				Index: i, Cut: b.Cut(), BestCut: b.Cut(),
+				Imbalance: b.Imbalance(), Vertices: b.Graph().N(), Edges: b.Graph().M(),
+			})
+		}
 	}
 	return b, nil
 }
@@ -116,7 +142,11 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 // contract, solve the coarse graph with initial+refine, project back, and
 // repair balance. The returned bisection of g is the "good starting
 // bisection" that the caller then hands to the full bisection procedure.
-func CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine RefineFunc, r *rng.Rand) (*partition.Bisection, error) {
+//
+// A non-nil obs receives a "coarsen" level_done after the contraction and
+// an "uncoarsen" level_done after the projection back to g; nil skips all
+// tracing work.
+func CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine RefineFunc, r *rng.Rand, obs trace.Observer) (*partition.Bisection, error) {
 	if match == nil {
 		match = matching.RandomMaximal
 	}
@@ -137,6 +167,12 @@ func CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine Re
 	if err != nil {
 		return nil, err
 	}
+	if obs != nil {
+		obs.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "coarsen",
+			Index: 0, Vertices: c.Coarse.N(), Edges: c.Coarse.M(),
+		})
+	}
 	cb := initial(c.Coarse, r)
 	if cb == nil || cb.Graph() != c.Coarse {
 		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
@@ -150,5 +186,12 @@ func CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine Re
 		return nil, err
 	}
 	partition.RepairBalance(fine, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	if obs != nil {
+		obs.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "uncoarsen",
+			Index: 0, Cut: fine.Cut(), BestCut: fine.Cut(),
+			Imbalance: fine.Imbalance(), Vertices: g.N(), Edges: g.M(),
+		})
+	}
 	return fine, nil
 }

@@ -13,6 +13,12 @@
 // random assignment.
 //
 // All algorithms are deterministic functions of the supplied rng.Rand.
+//
+// Algorithms and drivers that can report their dynamics implement
+// Observable; WithObserver attaches a trace.Observer to any Bisector
+// (a no-op for baselines). Parallel drivers buffer events per start
+// and replay them in order, so traces stay deterministic — see
+// internal/trace and docs/OBSERVABILITY.md.
 package core
 
 import (
@@ -28,6 +34,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/spectral"
+	"repro/internal/trace"
 )
 
 // Bisector produces a balanced bisection of a graph. Implementations must
@@ -39,6 +46,43 @@ type Bisector interface {
 	Name() string
 	// Bisect partitions g.
 	Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error)
+}
+
+// Observable is a Bisector whose runs can report trace events. All the
+// algorithmic bisectors (KL, SA, FM) and the composing drivers
+// (Compacted, Multilevel, BestOf, ParallelBestOf) implement it; the
+// trivial baselines (Random, Greedy, Spectral) have no interior dynamics
+// to report and do not.
+type Observable interface {
+	Bisector
+	// WithObserver returns a copy of the bisector whose runs report to
+	// obs. The receiver is not modified, and the returned bisector
+	// produces exactly the same bisections (observers never touch the
+	// random stream).
+	WithObserver(obs trace.Observer) Bisector
+}
+
+// WithObserver attaches obs to b if b is Observable; otherwise it
+// returns b unchanged. A nil obs also returns b unchanged, preserving
+// the nil fast path.
+func WithObserver(b Bisector, obs trace.Observer) Bisector {
+	if obs == nil {
+		return b
+	}
+	if o, ok := b.(Observable); ok {
+		return o.WithObserver(obs)
+	}
+	return b
+}
+
+// withObserverRefinable attaches obs to b, keeping the RefinableBisector
+// interface when the observed copy still satisfies it (it does for the
+// concrete algorithms; the fallback covers exotic user implementations).
+func withObserverRefinable(b RefinableBisector, obs trace.Observer) RefinableBisector {
+	if rb, ok := WithObserver(b, obs).(RefinableBisector); ok {
+		return rb
+	}
+	return b
 }
 
 // Random assigns sides uniformly at random under exact balance. It is the
@@ -174,6 +218,9 @@ type Compacted struct {
 	Inner RefinableBisector
 	// Match overrides the matching policy (default random maximal).
 	Match coarsen.MatchFunc
+	// Observer, when non-nil, receives the compaction's level_done
+	// events. Use WithObserver to also attach it to Inner's runs.
+	Observer trace.Observer
 }
 
 // RefinableBisector is a Bisector that can also improve an existing
@@ -203,6 +250,52 @@ func (a SA) Refine(b *partition.Bisection, r *rng.Rand) error {
 	return err
 }
 
+// WithObserver implements Observable for KL.
+func (a KL) WithObserver(obs trace.Observer) Bisector {
+	a.Opts.Observer = obs
+	return a
+}
+
+// WithObserver implements Observable for SA.
+func (a SA) WithObserver(obs trace.Observer) Bisector {
+	a.Opts.Observer = obs
+	return a
+}
+
+// WithObserver implements Observable for FM.
+func (a FM) WithObserver(obs trace.Observer) Bisector {
+	a.Opts.Observer = obs
+	return a
+}
+
+// WithObserver implements Observable for Compacted: obs receives the
+// compaction's own level_done events plus the inner bisector's events
+// from both the coarse solve and the final refinement.
+func (c Compacted) WithObserver(obs trace.Observer) Bisector {
+	c.Observer = obs
+	if c.Inner != nil {
+		c.Inner = withObserverRefinable(c.Inner, obs)
+	}
+	return c
+}
+
+// WithObserver implements Observable for Multilevel: obs receives one
+// level_done per coarsening and uncoarsening level plus the inner
+// bisector's events at every level. The options are copied, never
+// mutated in place.
+func (m Multilevel) WithObserver(obs trace.Observer) Bisector {
+	var o coarsen.MultilevelOptions
+	if m.Opts != nil {
+		o = *m.Opts
+	}
+	o.Observer = obs
+	m.Opts = &o
+	if m.Inner != nil {
+		m.Inner = withObserverRefinable(m.Inner, obs)
+	}
+	return m
+}
+
 // Name implements Bisector.
 func (c Compacted) Name() string { return "c" + c.Inner.Name() }
 
@@ -218,7 +311,7 @@ func (c Compacted) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, er
 		}
 		return b
 	}
-	start, err := coarsen.CompactOnce(g, c.Match, initial, nil, r)
+	start, err := coarsen.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
 	if err != nil {
 		return nil, err
 	}
@@ -268,10 +361,19 @@ func (m Multilevel) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, e
 type BestOf struct {
 	Inner  Bisector
 	Starts int
+	// Observer, when non-nil, receives the inner runs' events (stamped
+	// with their start index) and a final run_done with the kept cut.
+	Observer trace.Observer
 }
 
 // Name implements Bisector.
 func (b BestOf) Name() string { return fmt.Sprintf("%s×%d", b.Inner.Name(), b.Starts) }
+
+// WithObserver implements Observable.
+func (b BestOf) WithObserver(obs trace.Observer) Bisector {
+	b.Observer = obs
+	return b
+}
 
 // Bisect implements Bisector.
 func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
@@ -284,13 +386,25 @@ func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error
 	}
 	var best *partition.Bisection
 	for i := 0; i < starts; i++ {
-		cand, err := b.Inner.Bisect(g, r)
+		inner := b.Inner
+		if b.Observer != nil {
+			// Starts run sequentially on one stream, so events can flow
+			// straight through; only the start stamp is added.
+			inner = WithObserver(inner, trace.WithStart(b.Observer, i))
+		}
+		cand, err := inner.Bisect(g, r)
 		if err != nil {
 			return nil, err
 		}
 		if best == nil || cand.Cut() < best.Cut() {
 			best = cand
 		}
+	}
+	if b.Observer != nil && best != nil {
+		b.Observer.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: b.Name(), Index: starts,
+			Cut: best.Cut(), BestCut: best.Cut(), Imbalance: best.Imbalance(),
+		})
 	}
 	return best, nil
 }

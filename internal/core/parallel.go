@@ -8,6 +8,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // ParallelBestOf runs the inner bisector from Starts independent random
@@ -22,10 +23,23 @@ type ParallelBestOf struct {
 	Starts int
 	// Workers caps concurrency (default GOMAXPROCS).
 	Workers int
+	// Observer, when non-nil, receives the inner runs' events and a
+	// final run_done with the kept cut. Each start records into its own
+	// buffer while running; the buffers are replayed in start order
+	// after all starts join, so the delivered stream is single-goroutine
+	// and identical for identical seeds no matter how the starts were
+	// scheduled.
+	Observer trace.Observer
 }
 
 // Name implements Bisector.
 func (p ParallelBestOf) Name() string { return fmt.Sprintf("%s∥%d", p.Inner.Name(), p.Starts) }
+
+// WithObserver implements Observable.
+func (p ParallelBestOf) WithObserver(obs trace.Observer) Bisector {
+	p.Observer = obs
+	return p
+}
 
 // Bisect implements Bisector.
 func (p ParallelBestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error) {
@@ -48,6 +62,14 @@ func (p ParallelBestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisectio
 	for i := range streams {
 		streams[i] = r.Split()
 	}
+	// Per-start event buffers: goroutines never share an observer.
+	var recs []*trace.Recorder
+	if p.Observer != nil {
+		recs = make([]*trace.Recorder, starts)
+		for i := range recs {
+			recs[i] = trace.NewRecorder(0)
+		}
+	}
 
 	results := make([]*partition.Bisection, starts)
 	errs := make([]error, starts)
@@ -59,7 +81,11 @@ func (p ParallelBestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisectio
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = p.Inner.Bisect(g, streams[i])
+			inner := p.Inner
+			if recs != nil {
+				inner = WithObserver(inner, recs[i])
+			}
+			results[i], errs[i] = inner.Bisect(g, streams[i])
 		}(i)
 	}
 	wg.Wait()
@@ -71,6 +97,13 @@ func (p ParallelBestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisectio
 		if best == nil || results[i].Cut() < best.Cut() {
 			best = results[i]
 		}
+	}
+	if p.Observer != nil {
+		trace.MergeStarts(p.Observer, recs)
+		p.Observer.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: p.Name(), Index: starts,
+			Cut: best.Cut(), BestCut: best.Cut(), Imbalance: best.Imbalance(),
+		})
 	}
 	return best, nil
 }

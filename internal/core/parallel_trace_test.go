@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestParallelBestOfObserverDeterminism is the concurrency half of the
+// observability contract, and the test README tells developers to run
+// under `go test -race ./internal/core/...`: per-start recorders are
+// filled concurrently, merged in start order after the join, and the
+// merged JSONL stream must be byte-identical across runs of one seed —
+// no goroutine schedule may show through.
+func TestParallelBestOfObserverDeterminism(t *testing.T) {
+	g, err := gen.GNP(300, 0.03, rng.NewFib(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func() ([]byte, int64) {
+		var buf bytes.Buffer
+		obs := trace.NewJSONL(&buf)
+		p := ParallelBestOf{Inner: KL{}, Starts: 4, Observer: obs}
+		b, err := p.Bisect(g, rng.NewFib(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Err() != nil {
+			t.Fatal(obs.Err())
+		}
+		return buf.Bytes(), b.Cut()
+	}
+	s1, cut1 := stream()
+	s2, cut2 := stream()
+	if cut1 != cut2 {
+		t.Fatalf("cuts differ across runs: %d vs %d", cut1, cut2)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("merged JSONL streams differ across runs:\n%s\nvs\n%s", s1, s2)
+	}
+	if len(s1) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	// Attaching the observer must not change the chosen bisection.
+	plain, err := ParallelBestOf{Inner: KL{}, Starts: 4}.Bisect(g, rng.NewFib(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cut() != cut1 {
+		t.Fatalf("observer changed the best-of result: %d vs %d", plain.Cut(), cut1)
+	}
+}
+
+// TestParallelBestOfStartStamps checks the deterministic merge detail:
+// events arrive grouped by start index in increasing order, with the
+// driver's own run_done last.
+func TestParallelBestOfStartStamps(t *testing.T) {
+	g, err := gen.GNP(200, 0.04, rng.NewFib(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	p := ParallelBestOf{Inner: KL{}, Starts: 3, Observer: rec}
+	if _, err := p.Bisect(g, rng.NewFib(14)); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if len(events) < 4 {
+		t.Fatalf("too few events: %d", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != trace.TypeRunDone || last.Algo != p.Name() {
+		t.Fatalf("last event is %+v, want the driver's run_done", last)
+	}
+	prev := 0
+	seen := map[int]bool{}
+	for _, e := range events[:len(events)-1] {
+		if e.Start < prev {
+			t.Fatalf("start %d appeared after start %d: merge is not ordered", e.Start, prev)
+		}
+		prev = e.Start
+		seen[e.Start] = true
+	}
+	for s := 0; s < 3; s++ {
+		if !seen[s] {
+			t.Fatalf("no events from start %d", s)
+		}
+	}
+}
+
+// TestWithObserverHelper covers the attach helper across the registry:
+// observable algorithms gain events, non-observable ones pass through
+// unchanged, and results never change either way.
+func TestWithObserverHelper(t *testing.T) {
+	g, err := gen.GNP(150, 0.05, rng.NewFib(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		alg, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "sa" || name == "csa" {
+			continue // full JAMS schedule is too slow for this loop; SA is covered in internal/anneal
+		}
+		plain, err := alg.Bisect(g, rng.NewFib(2))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rec := trace.NewRecorder(0)
+		traced, err := WithObserver(alg, rec).Bisect(g, rng.NewFib(2))
+		if err != nil {
+			t.Fatalf("%s traced: %v", name, err)
+		}
+		if plain.Cut() != traced.Cut() {
+			t.Fatalf("%s: observer changed the cut: %d vs %d", name, plain.Cut(), traced.Cut())
+		}
+		_, observable := alg.(Observable)
+		if observable && rec.Len() == 0 {
+			t.Fatalf("%s is observable but produced no events", name)
+		}
+		if !observable && rec.Len() != 0 {
+			t.Fatalf("%s is not observable but produced %d events", name, rec.Len())
+		}
+	}
+}

@@ -13,10 +13,12 @@ package fm
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Options configures the algorithm.
@@ -28,6 +30,10 @@ type Options struct {
 	// end at; 0 means the maximum vertex weight of the graph (the
 	// tightest tolerance under which FM can still move anything).
 	MaxImbalance int64
+	// Observer, when non-nil, receives move_batch, pass_done, and
+	// run_done trace events (see docs/OBSERVABILITY.md). Attaching one
+	// never changes the resulting bisection; nil costs nothing.
+	Observer trace.Observer
 }
 
 const safetyPassCap = 1000
@@ -48,19 +54,44 @@ func Refine(b *partition.Bisection, opts Options) (Stats, error) {
 	if limit <= 0 {
 		limit = safetyPassCap
 	}
+	obs := opts.Observer
+	var runStart time.Time
+	if obs != nil {
+		runStart = time.Now()
+	}
 	for p := 0; p < limit; p++ {
-		_, moves, err := Pass(b, opts)
+		var passStart time.Time
+		if obs != nil {
+			passStart = time.Now()
+		}
+		improved, moves, err := Pass(b, opts)
 		st.Passes++
 		st.Moves += moves
 		if err != nil {
 			return st, err
 		}
 		st.FinalCut = b.Cut()
+		if obs != nil {
+			obs.Observe(trace.Event{
+				Type: trace.TypePassDone, Algo: "fm", Index: p,
+				Cut: st.FinalCut, BestCut: st.FinalCut, Imbalance: b.Imbalance(),
+				Gain: improved, Moves: moves,
+				ElapsedNS: time.Since(passStart).Nanoseconds(),
+			})
+		}
 		if moves == 0 {
 			// A pass keeps moves only when it strictly improves the cut
 			// or strictly repairs balance, so an empty pass is a fixpoint.
 			break
 		}
+	}
+	if obs != nil {
+		obs.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: "fm", Index: st.Passes,
+			Cut: st.FinalCut, BestCut: st.FinalCut, Imbalance: b.Imbalance(),
+			Gain: st.InitialCut - st.FinalCut, Moves: st.Moves,
+			ElapsedNS: time.Since(runStart).Nanoseconds(),
+		})
 	}
 	return st, nil
 }
@@ -127,6 +158,13 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, er
 	var cum, bestCum int64
 	bestK := 0
 	bestImb := b.Imbalance()
+	// Intra-pass tracing state; untouched when no observer is attached.
+	obs := opts.Observer
+	var startCut, batchMaxGain int64
+	batchFill, batchIdx := 0, 0
+	if obs != nil {
+		startCut = b.Cut()
+	}
 	for step := 0; step < n; step++ {
 		v := selectMove(b, buckets, moveTol)
 		if v < 0 {
@@ -157,6 +195,20 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, er
 			bestImb = imb
 			bestK = len(moves)
 		}
+		if obs != nil {
+			if batchFill == 0 || gain > batchMaxGain {
+				batchMaxGain = gain
+			}
+			batchFill++
+			if batchFill == trace.MoveBatchSize {
+				emitMoveBatch(obs, b, batchIdx, len(moves), startCut, cum, bestCum, batchMaxGain)
+				batchFill = 0
+				batchIdx++
+			}
+		}
+	}
+	if obs != nil && batchFill > 0 {
+		emitMoveBatch(obs, b, batchIdx, len(moves), startCut, cum, bestCum, batchMaxGain)
 	}
 	for i := len(moves) - 1; i >= bestK; i-- {
 		b.Move(moves[i])
@@ -168,6 +220,17 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, er
 		return 0, bestK, nil
 	}
 	return bestCum, bestK, nil
+}
+
+// emitMoveBatch reports an intra-pass progress sample: the cut of the
+// tentative state, the cut the best prefix so far would yield, and the
+// batch's largest single move gain.
+func emitMoveBatch(obs trace.Observer, b *partition.Bisection, batchIdx, moves int, startCut, cum, bestCum, maxGain int64) {
+	obs.Observe(trace.Event{
+		Type: trace.TypeMoveBatch, Algo: "fm", Index: batchIdx,
+		Cut: b.Cut(), BestCut: startCut - bestCum, Imbalance: b.Imbalance(),
+		Gain: cum, MaxGain: maxGain, Moves: moves,
+	})
 }
 
 // selectMove picks the best-gain unlocked vertex whose move would not

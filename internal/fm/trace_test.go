@@ -1,0 +1,56 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestObserverDoesNotChangeResult verifies the detach half of the
+// observability contract for FM.
+func TestObserverDoesNotChangeResult(t *testing.T) {
+	g, err := gen.GNP(200, 0.03, rng.NewFib(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, plainStats, err := Run(g, Options{}, rng.NewFib(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	traced, tracedStats, err := Run(g, Options{Observer: rec}, rng.NewFib(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cut() != traced.Cut() || plainStats != tracedStats {
+		t.Fatalf("observer changed the run: cut %d vs %d, stats %+v vs %+v",
+			plain.Cut(), traced.Cut(), plainStats, tracedStats)
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if plain.Side(v) != traced.Side(v) {
+			t.Fatalf("observer changed the bisection at vertex %d", v)
+		}
+	}
+	// Event stream sanity: pass_done per pass, run_done last, counters match.
+	events := rec.Events()
+	var passes, moves int
+	for _, e := range events {
+		if e.Type == trace.TypePassDone {
+			if e.Algo != "fm" || e.Index != passes {
+				t.Fatalf("bad pass_done: %+v", e)
+			}
+			moves += e.Moves
+			passes++
+		}
+	}
+	if passes != tracedStats.Passes || moves != tracedStats.Moves {
+		t.Fatalf("events report %d passes / %d moves, stats %d / %d",
+			passes, moves, tracedStats.Passes, tracedStats.Moves)
+	}
+	last := events[len(events)-1]
+	if last.Type != trace.TypeRunDone || last.Cut != tracedStats.FinalCut {
+		t.Fatalf("bad run_done: %+v (stats %+v)", last, tracedStats)
+	}
+}

@@ -12,6 +12,12 @@
 //
 // Tables are declarative (a list of GraphSpec rows); the runner is
 // deterministic given Config.Seed.
+//
+// Config.Observer traces a table run: every event is stamped with its
+// row label, each (algorithm, instance) pair closes with a
+// phase:"harness" run_done, and rows are buffered and replayed in
+// table order so parallel runs stream the same bytes as sequential
+// ones (see docs/OBSERVABILITY.md).
 package harness
 
 import (
@@ -24,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // GraphSpec is one row of a table: a deterministic family of random
@@ -67,6 +74,14 @@ type Config struct {
 	// compared across a parallel run; use sequential runs for the paper's
 	// speed-up columns.
 	Parallel int
+	// Observer, when non-nil, receives the trace events of every
+	// algorithm run, stamped with the row label and start index, plus
+	// one harness-phase run_done per (algorithm, instance) carrying the
+	// best-of-starts cut. Each row buffers its events and Run replays
+	// the buffers in row order after the row completes, so the delivered
+	// stream is identical for sequential and parallel runs of the same
+	// seed. A nil Observer adds no work.
+	Observer trace.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -148,13 +163,14 @@ func Run(t Table, cfg Config) (*TableResult, error) {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, c.Parallel)
 		errs := make([]error, len(t.Specs))
+		recs := make([]*trace.Recorder, len(t.Specs))
 		for rowIdx, spec := range t.Specs {
 			wg.Add(1)
 			go func(rowIdx int, spec GraphSpec) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				res.Rows[rowIdx], errs[rowIdx] = runRow(spec, rowIdx, c)
+				res.Rows[rowIdx], recs[rowIdx], errs[rowIdx] = runRow(spec, rowIdx, c)
 			}(rowIdx, spec)
 		}
 		wg.Wait()
@@ -163,25 +179,43 @@ func Run(t Table, cfg Config) (*TableResult, error) {
 				return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, t.Specs[rowIdx].Label, err)
 			}
 		}
+		// Row buffers replay in table order after the join, so the
+		// merged stream does not depend on row scheduling.
+		for _, rec := range recs {
+			if rec != nil {
+				rec.ReplayTo(c.Observer)
+			}
+		}
 		return res, nil
 	}
 	for rowIdx, spec := range t.Specs {
-		row, err := runRow(spec, rowIdx, c)
+		row, rec, err := runRow(spec, rowIdx, c)
 		if err != nil {
 			return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, spec.Label, err)
 		}
 		res.Rows[rowIdx] = row
+		if rec != nil {
+			rec.ReplayTo(c.Observer)
+		}
 	}
 	return res, nil
 }
 
-func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, error) {
+func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, error) {
 	instances := spec.Instances
 	if instances <= 0 {
 		instances = 1
 	}
 	if spec.Generate == nil {
-		return RowResult{}, fmt.Errorf("nil generator")
+		return RowResult{}, nil, fmt.Errorf("nil generator")
+	}
+	// Rows may run concurrently, so each buffers its events locally; the
+	// caller replays the buffers in row order.
+	var rec *trace.Recorder
+	var rowObs trace.Observer
+	if c.Observer != nil {
+		rec = trace.NewRecorder(0)
+		rowObs = trace.WithLabel(rec, spec.Label)
 	}
 	cuts := map[string][]int64{}
 	secs := map[string][]float64{}
@@ -192,22 +226,33 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, error) {
 		base := rng.NewFib(mix(c.Seed, uint64(rowIdx), uint64(inst)))
 		g, err := spec.Generate(base)
 		if err != nil {
-			return RowResult{}, err
+			return RowResult{}, nil, err
 		}
 		for _, alg := range c.Algorithms {
 			ar := base.Split()
 			start := time.Now()
 			best := int64(1) << 62
 			for s := 0; s < c.Starts; s++ {
-				b, err := alg.Bisect(g, ar)
+				a := alg
+				if rowObs != nil {
+					a = core.WithObserver(alg, trace.WithStart(rowObs, s))
+				}
+				b, err := a.Bisect(g, ar)
 				if err != nil {
-					return RowResult{}, fmt.Errorf("%s: %v", alg.Name(), err)
+					return RowResult{}, nil, fmt.Errorf("%s: %v", alg.Name(), err)
 				}
 				if b.Cut() < best {
 					best = b.Cut()
 				}
 			}
 			elapsed := time.Since(start).Seconds()
+			if rowObs != nil {
+				rowObs.Observe(trace.Event{
+					Type: trace.TypeRunDone, Algo: alg.Name(), Phase: "harness",
+					Index: inst, Cut: best, BestCut: best,
+					ElapsedNS: int64(elapsed * 1e9),
+				})
+			}
 			cuts[alg.Name()] = append(cuts[alg.Name()], best)
 			secs[alg.Name()] = append(secs[alg.Name()], elapsed)
 		}
@@ -239,7 +284,7 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, error) {
 			row.SpeedUp[name] = stats.SpeedUp(cell.Seconds, comp.Seconds)
 		}
 	}
-	return row, nil
+	return row, rec, nil
 }
 
 // mix hashes (seed, row, instance) into an independent stream seed.

@@ -19,10 +19,12 @@ package kl
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Options configures the algorithm.
@@ -34,6 +36,11 @@ type Options struct {
 	// pair scan. Results are identical; only running time changes. Used by
 	// the KL-scan ablation.
 	DisablePruning bool
+	// Observer, when non-nil, receives move_batch, pass_done, and
+	// run_done trace events (see docs/OBSERVABILITY.md). Observers never
+	// touch the random stream, so attaching one cannot change the
+	// resulting bisection; nil costs nothing.
+	Observer trace.Observer
 }
 
 // safetyPassCap bounds the pass loop when MaxPasses is 0. Each counted
@@ -59,7 +66,16 @@ func Refine(b *partition.Bisection, opts Options) (Stats, error) {
 	if limit <= 0 {
 		limit = safetyPassCap
 	}
+	obs := opts.Observer
+	var runStart time.Time
+	if obs != nil {
+		runStart = time.Now()
+	}
 	for p := 0; p < limit; p++ {
+		var passStart time.Time
+		if obs != nil {
+			passStart = time.Now()
+		}
 		improved, swaps, scanned, err := Pass(b, opts)
 		st.Passes++
 		st.Swaps += swaps
@@ -68,9 +84,26 @@ func Refine(b *partition.Bisection, opts Options) (Stats, error) {
 			return st, err
 		}
 		st.FinalCut = b.Cut()
+		if obs != nil {
+			// KL never keeps a worsening prefix, so cut == best cut.
+			obs.Observe(trace.Event{
+				Type: trace.TypePassDone, Algo: "kl", Index: p,
+				Cut: st.FinalCut, BestCut: st.FinalCut, Imbalance: b.Imbalance(),
+				Gain: improved, Moves: swaps, Scanned: scanned,
+				ElapsedNS: time.Since(passStart).Nanoseconds(),
+			})
+		}
 		if improved <= 0 {
 			break
 		}
+	}
+	if obs != nil {
+		obs.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: "kl", Index: st.Passes,
+			Cut: st.FinalCut, BestCut: st.FinalCut, Imbalance: b.Imbalance(),
+			Gain: st.InitialCut - st.FinalCut, Moves: st.Swaps, Scanned: st.ScannedPairs,
+			ElapsedNS: time.Since(runStart).Nanoseconds(),
+		})
 	}
 	return st, nil
 }
@@ -122,6 +155,15 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 	var cum, bestCum int64
 	bestK := 0
 
+	// Intra-pass tracing state; untouched (and unallocated) when no
+	// observer is attached.
+	obs := opts.Observer
+	var startCut, batchMaxGain int64
+	batchFill, batchIdx := 0, 0
+	if obs != nil {
+		startCut = b.Cut()
+	}
+
 	for i := 0; i < steps; i++ {
 		a, bv, g2, sc := selectPair(b, buckets, opts.DisablePruning)
 		scanned += sc
@@ -150,6 +192,20 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 			bestCum = cum
 			bestK = len(swaps)
 		}
+		if obs != nil {
+			if batchFill == 0 || g2 > batchMaxGain {
+				batchMaxGain = g2
+			}
+			batchFill++
+			if batchFill == trace.MoveBatchSize {
+				emitMoveBatch(obs, b, batchIdx, len(swaps), startCut, cum, bestCum, batchMaxGain, scanned)
+				batchFill = 0
+				batchIdx++
+			}
+		}
+	}
+	if obs != nil && batchFill > 0 {
+		emitMoveBatch(obs, b, batchIdx, len(swaps), startCut, cum, bestCum, batchMaxGain, scanned)
 	}
 
 	// Roll back everything after the best prefix.
@@ -157,6 +213,17 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 		b.Swap(swaps[i].a, swaps[i].bv)
 	}
 	return bestCum, bestK, scanned, nil
+}
+
+// emitMoveBatch reports an intra-pass progress sample: the cut of the
+// tentative state, the cut the best prefix so far would yield, and the
+// batch's largest single swap gain.
+func emitMoveBatch(obs trace.Observer, b *partition.Bisection, batchIdx, moves int, startCut, cum, bestCum, maxGain int64, scanned int64) {
+	obs.Observe(trace.Event{
+		Type: trace.TypeMoveBatch, Algo: "kl", Index: batchIdx,
+		Cut: b.Cut(), BestCut: startCut - bestCum, Imbalance: b.Imbalance(),
+		Gain: cum, MaxGain: maxGain, Moves: moves, Scanned: scanned,
+	})
 }
 
 // selectPair returns the unlocked opposite-side pair with maximum swap

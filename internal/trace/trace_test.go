@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func ev(i int) Event {
+	return Event{Type: TypePassDone, Algo: "kl", Index: i, Cut: int64(100 - i)}
+}
+
+func TestRecorderUnbounded(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Observe(ev(i))
+	}
+	if r.Len() != 100 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 100, 0", r.Len(), r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.Index != i {
+			t.Fatalf("event %d has index %d", i, e.Index)
+		}
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Observe(ev(i))
+	}
+	if r.Len() != 8 {
+		t.Fatalf("len=%d, want 8", r.Len())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("dropped=%d, want 12", r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if want := 12 + i; e.Index != want {
+			t.Fatalf("event %d has index %d, want %d (oldest-first after wrap)", i, e.Index, want)
+		}
+	}
+	// ReplayTo must agree with Events.
+	var replayed []Event
+	r.ReplayTo(observerFunc(func(e Event) { replayed = append(replayed, e) }))
+	if !reflect.DeepEqual(replayed, events) {
+		t.Fatal("ReplayTo order differs from Events order")
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset did not clear the recorder")
+	}
+}
+
+type observerFunc func(Event)
+
+func (f observerFunc) Observe(e Event) { f(e) }
+
+func TestWithStartAndLabel(t *testing.T) {
+	var got []Event
+	sink := observerFunc(func(e Event) { got = append(got, e) })
+	WithStart(sink, 3).Observe(ev(0))
+	WithLabel(sink, "b=16").Observe(ev(1))
+	pre := ev(2)
+	pre.Label = "keep"
+	WithLabel(sink, "b=16").Observe(pre)
+	if got[0].Start != 3 {
+		t.Fatalf("WithStart: start=%d, want 3", got[0].Start)
+	}
+	if got[1].Label != "b=16" {
+		t.Fatalf("WithLabel: label=%q, want b=16", got[1].Label)
+	}
+	if got[2].Label != "keep" {
+		t.Fatalf("WithLabel overwrote an existing label: %q", got[2].Label)
+	}
+	if WithStart(nil, 1) != nil || WithLabel(nil, "x") != nil {
+		t.Fatal("wrapping nil must stay nil (fast-path contract)")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	var a, b []Event
+	multi := Multi(nil,
+		observerFunc(func(e Event) { a = append(a, e) }),
+		nil,
+		observerFunc(func(e Event) { b = append(b, e) }))
+	multi.Observe(ev(7))
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("fan-out delivered %d/%d events, want 1/1", len(a), len(b))
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of all-nil must be nil")
+	}
+}
+
+func TestMergeStartsDeterministicOrder(t *testing.T) {
+	recs := make([]*Recorder, 3)
+	for i := range recs {
+		recs[i] = NewRecorder(0)
+		for k := 0; k < 2; k++ {
+			recs[i].Observe(ev(k))
+		}
+	}
+	var got []Event
+	MergeStarts(observerFunc(func(e Event) { got = append(got, e) }), recs)
+	if len(got) != 6 {
+		t.Fatalf("merged %d events, want 6", len(got))
+	}
+	for i, e := range got {
+		if want := i / 2; e.Start != want {
+			t.Fatalf("event %d merged with start %d, want %d", i, e.Start, want)
+		}
+		if want := i % 2; e.Index != want {
+			t.Fatalf("event %d merged with index %d, want %d", i, e.Index, want)
+		}
+	}
+}
+
+func TestJSONLDeterministicAndTimingGated(t *testing.T) {
+	e := Event{Type: TypeTempDone, Algo: "sa", Index: 4, Cut: 42, BestCut: 40,
+		Trials: 1000, Accepted: 250, AcceptRatio: 0.25, Temp: 1.5,
+		ElapsedNS: 12345, AllocBytes: 678}
+	var b1, b2 bytes.Buffer
+	j1, j2 := NewJSONL(&b1), NewJSONL(&b2)
+	j1.Observe(e)
+	j2.Observe(e)
+	if b1.String() != b2.String() {
+		t.Fatal("identical events marshaled differently")
+	}
+	if strings.Contains(b1.String(), "elapsed_ns") || strings.Contains(b1.String(), "alloc_bytes") {
+		t.Fatalf("timing fields leaked into default (deterministic) output: %s", b1.String())
+	}
+	var timed bytes.Buffer
+	jt := NewJSONL(&timed)
+	jt.Timing = true
+	jt.Observe(e)
+	if !strings.Contains(timed.String(), `"elapsed_ns":12345`) {
+		t.Fatalf("Timing=true did not preserve elapsed_ns: %s", timed.String())
+	}
+	// Each line must be standalone JSON round-tripping to the same event.
+	var back Event
+	if err := json.Unmarshal(timed.Bytes(), &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(back, e) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, e)
+	}
+	if j1.Err() != nil {
+		t.Fatalf("unexpected error: %v", j1.Err())
+	}
+}
+
+func TestCSVCurve(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCSVCurve(&buf)
+	c.Observe(Event{Type: TypePassDone, Algo: "kl", Index: 0, Cut: 90, BestCut: 90, Gain: 10, Moves: 5, ElapsedNS: 999})
+	c.Observe(Event{Type: TypeTempDone, Algo: "sa", Index: 1, Cut: 80, BestCut: 78, Trials: 100, Accepted: 40, AcceptRatio: 0.4, Temp: 2.25})
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "type,algo,start,index") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "pass_done,kl") || strings.Contains(lines[1], "999") {
+		t.Fatalf("row 1 wrong or timing leaked: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "0.4") || !strings.Contains(lines[2], "2.25") {
+		t.Fatalf("row 2 missing float columns: %s", lines[2])
+	}
+}
