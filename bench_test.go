@@ -330,24 +330,54 @@ func BenchmarkAblationMultilevel(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationKLScan compares KL pair selection with and without the
-// admissible early termination (results are identical; time differs).
+// BenchmarkAblationKLScan compares the three KL pair-selection variants:
+// the default pruned scan with the stamped-scratch O(1) connectivity
+// lookup, the pruned scan probing the adjacency for every pair
+// (DisableScratch), and the unpruned full scan (DisablePruning). All
+// three select identical pairs — the pruned variants also examine
+// identical ScannedPairs counts — so only the time may differ; the
+// results themselves are cross-checked for byte equality on every run
+// (and, more thoroughly, by TestScanVariantsIdentical in internal/kl).
 func BenchmarkAblationKLScan(b *testing.B) {
 	g, err := bisect.BReg(400, 8, 3, bisect.NewRand(7))
 	if err != nil {
 		b.Fatal(err)
 	}
+	ref := struct {
+		cut     int64
+		scanned int64
+	}{-1, -1}
 	for _, v := range []struct {
-		name  string
-		prune bool
-	}{{"pruned", false}, {"full-scan", true}} {
+		name string
+		opts bisect.KLOptions
+	}{
+		{"pruned-scratch", bisect.KLOptions{}},
+		{"pruned-probe", bisect.KLOptions{DisableScratch: true}},
+		{"full-scan", bisect.KLOptions{DisablePruning: true}},
+	} {
 		b.Run(v.name, func(b *testing.B) {
 			r := bisect.NewRand(8)
-			alg := bisect.KL{Opts: bisect.KLOptions{DisablePruning: v.prune}}
+			var cut, scanned int64
 			for i := 0; i < b.N; i++ {
-				if _, err := alg.Bisect(g, r); err != nil {
+				bb, st, err := bisect.RunKL(g, v.opts, r)
+				if err != nil {
 					b.Fatal(err)
 				}
+				if i == 0 {
+					cut, scanned = bb.Cut(), st.ScannedPairs
+				}
+			}
+			b.ReportMetric(float64(cut), "cut")
+			b.ReportMetric(float64(scanned), "scanned")
+			// Identical-results cross-check: every variant's first run
+			// starts from the same stream state, so cuts must agree, and
+			// the two pruned variants must scan identical pair counts.
+			if ref.cut == -1 {
+				ref.cut, ref.scanned = cut, scanned
+			} else if cut != ref.cut {
+				b.Fatalf("%s: cut %d differs from reference %d", v.name, cut, ref.cut)
+			} else if !v.opts.DisablePruning && scanned != ref.scanned {
+				b.Fatalf("%s: scanned %d differs from reference %d", v.name, scanned, ref.scanned)
 			}
 		})
 	}

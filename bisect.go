@@ -44,6 +44,13 @@ type (
 
 	// KLOptions configures Kernighan–Lin.
 	KLOptions = kl.Options
+	// KLStats reports what a Kernighan–Lin run did (passes, swaps,
+	// scanned pairs, cut trajectory).
+	KLStats = kl.Stats
+	// KLRefiner is the reusable zero-allocation workspace for KL passes.
+	KLRefiner = kl.Refiner
+	// FMRefiner is the reusable zero-allocation workspace for FM passes.
+	FMRefiner = fm.Refiner
 	// SAOptions configures simulated annealing (JAMS'89 schedule).
 	SAOptions = anneal.Options
 	// FMOptions configures Fiduccia–Mattheyses.
@@ -102,6 +109,27 @@ type (
 // NewRand returns a deterministic random source (lagged-Fibonacci) seeded
 // with seed.
 func NewRand(seed uint64) *Rand { return rng.NewFib(seed) }
+
+// RunKL bisects g with Kernighan–Lin from a random balanced start and
+// also returns the run statistics (the KL Bisector discards them).
+func RunKL(g *Graph, opts KLOptions, r *Rand) (*Bisection, KLStats, error) {
+	return kl.Run(g, opts, r)
+}
+
+// NewKLRefiner returns a reusable KL workspace; pass it via
+// KLOptions.Workspace to make repeated runs allocation-free. See
+// docs/PERFORMANCE.md.
+func NewKLRefiner() *KLRefiner { return kl.NewRefiner() }
+
+// NewFMRefiner returns a reusable FM workspace; pass it via
+// FMOptions.Workspace to make repeated runs allocation-free.
+func NewFMRefiner() *FMRefiner { return fm.NewRefiner() }
+
+// WithWorkspace attaches a private reusable refinement workspace to b
+// if its algorithm supports one (KL, FM, and the drivers composing
+// them); otherwise returns b unchanged. The returned bisector is not
+// safe for concurrent use.
+func WithWorkspace(b Bisector) Bisector { return core.WithWorkspace(b) }
 
 // NewBuilder returns a Builder for a graph on n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }

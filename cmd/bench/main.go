@@ -1,0 +1,264 @@
+// Command bench runs the repository's reduced-scale benchmark suite and
+// writes a machine-readable BENCH_*.json snapshot: per-benchmark ns/op,
+// B/op, allocs/op, plus the per-table mean cuts of the paper harness.
+// Every PR that touches a hot path appends a snapshot, so the
+// performance trajectory of the repository is recorded next to the code
+// (see docs/PERFORMANCE.md for how to read and compare snapshots).
+//
+// Usage:
+//
+//	go run ./cmd/bench -o BENCH_1.json            # full suite
+//	go run ./cmd/bench -quick                     # micro-benchmarks only, stdout
+//	go run ./cmd/bench -baseline old.json -o new.json
+//
+// -baseline embeds a previously written snapshot under "baseline" so a
+// single file carries its own before/after comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/kl"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// Result is one micro-benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Metric      float64 `json:"metric,omitempty"` // benchmark-specific (e.g. final cut)
+}
+
+// TableCuts records the deterministic mean cut per algorithm of one
+// harness table — identical across machines and runs for a fixed seed,
+// so it doubles as a results-invariance check between snapshots.
+type TableCuts struct {
+	ID      string             `json:"id"`
+	Cuts    map[string]float64 `json:"mean_cuts"`
+	Seconds map[string]float64 `json:"mean_seconds"`
+}
+
+// Snapshot is the whole BENCH_*.json document.
+type Snapshot struct {
+	Schema     string      `json:"schema"`
+	Scale      string      `json:"scale"`
+	GoVersion  string      `json:"go"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Result    `json:"benchmarks"`
+	Tables     []TableCuts `json:"tables,omitempty"`
+	Baseline   *Snapshot   `json:"baseline,omitempty"`
+	Notes      string      `json:"notes,omitempty"`
+}
+
+func mustGNP(n int, deg float64, seed uint64) *graph.Graph {
+	g, err := gen.GNP(n, deg/float64(n-1), rng.NewFib(seed))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func record(name string, metric float64, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Metric:      metric,
+	}
+}
+
+// klRun measures full KL runs (random start + refinement to fixpoint)
+// on one shared workspace — the steady state of a multi-start campaign.
+func klRun(g *graph.Graph) (float64, func(b *testing.B)) {
+	ws := kl.NewRefiner()
+	bis, _, err := kl.Run(g, kl.Options{Workspace: ws}, rng.NewFib(7))
+	if err != nil {
+		panic(err)
+	}
+	return float64(bis.Cut()), func(b *testing.B) {
+		r := rng.NewFib(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := kl.Run(g, kl.Options{Workspace: ws}, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func fmRun(g *graph.Graph) (float64, func(b *testing.B)) {
+	ws := fm.NewRefiner()
+	bis, _, err := fm.Run(g, fm.Options{Workspace: ws}, rng.NewFib(7))
+	if err != nil {
+		panic(err)
+	}
+	return float64(bis.Cut()), func(b *testing.B) {
+		r := rng.NewFib(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fm.Run(g, fm.Options{Workspace: ws}, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// klPassSteady measures one steady-state KL pass on a warmed workspace —
+// the allocation-free inner loop itself (allocs_per_op must be 0).
+func klPassSteady(g *graph.Graph) func(b *testing.B) {
+	ws := kl.NewRefiner()
+	bis := partition.NewRandom(g, rng.NewFib(9))
+	if _, _, _, err := ws.Pass(bis, kl.Options{}); err != nil {
+		panic(err)
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := ws.Pass(bis, kl.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func fmPassSteady(g *graph.Graph) func(b *testing.B) {
+	ws := fm.NewRefiner()
+	bis := partition.NewRandom(g, rng.NewFib(9))
+	if _, _, err := ws.Pass(bis, fm.Options{}); err != nil {
+		panic(err)
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ws.Pass(bis, fm.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func tableCuts(t harness.Table) TableCuts {
+	cfg := harness.Config{
+		Seed: 1989, Starts: 2,
+		SAOpts: anneal.Options{SizeFactor: 4, TempFactor: 0.9, FreezeLim: 3, MaxTemps: 300},
+	}
+	res, err := harness.Run(t, cfg)
+	if err != nil {
+		panic(err)
+	}
+	tc := TableCuts{ID: t.ID, Cuts: map[string]float64{}, Seconds: map[string]float64{}}
+	for _, name := range res.Algorithms {
+		tc.Cuts[name] = res.MeanCut(name)
+		tc.Seconds[name] = res.MeanSeconds(name)
+	}
+	return tc
+}
+
+func main() {
+	out := flag.String("o", "", "write the snapshot to this file (default stdout)")
+	baseline := flag.String("baseline", "", "embed this previously written snapshot as the baseline")
+	quick := flag.Bool("quick", false, "micro-benchmarks only; skip the harness tables")
+	notes := flag.String("notes", "", "free-form note stored in the snapshot")
+	flag.Parse()
+
+	snap := Snapshot{
+		Schema:    "repro-bench/v1",
+		Scale:     "reduced",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Notes:     *notes,
+	}
+
+	// The KL Gnp pair covers the paper's sparse families; the degree-16
+	// instance shows the scan optimizations where adjacency lists are
+	// long enough to matter (see docs/PERFORMANCE.md).
+	type def struct {
+		name   string
+		metric float64
+		fn     func(b *testing.B)
+	}
+	var defs []def
+	add := func(name string, metric float64, fn func(b *testing.B)) {
+		defs = append(defs, def{name, metric, fn})
+	}
+	g25 := mustGNP(400, 2.5, 42)
+	g40 := mustGNP(400, 4.0, 42)
+	g160 := mustGNP(400, 16.0, 42)
+	cut, fn := klRun(g25)
+	add("kl_run_gnp400_d2.5", cut, fn)
+	cut, fn = klRun(g40)
+	add("kl_run_gnp400_d4.0", cut, fn)
+	cut, fn = klRun(g160)
+	add("kl_run_gnp400_d16", cut, fn)
+	cut, fn = fmRun(g40)
+	add("fm_run_gnp400_d4.0", cut, fn)
+	add("kl_pass_steady_gnp400_d4.0", 0, klPassSteady(g40))
+	add("fm_pass_steady_gnp400_d4.0", 0, fmPassSteady(g40))
+
+	for _, d := range defs {
+		fmt.Fprintf(os.Stderr, "bench %-28s ", d.name)
+		res := record(d.name, d.metric, d.fn)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %8d B/op %4d allocs/op\n", res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		snap.Benchmarks = append(snap.Benchmarks, res)
+	}
+
+	if !*quick {
+		for _, t := range []harness.Table{
+			harness.GnpTable(400, []float64{2.5, 4.0}, 2),
+			harness.BRegTable(400, 3, []int{2, 16}, 2),
+			harness.LadderTable([]int{34, 100}),
+		} {
+			fmt.Fprintf(os.Stderr, "table %s\n", t.ID)
+			snap.Tables = append(snap.Tables, tableCuts(t))
+		}
+	}
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base Snapshot
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
+			os.Exit(1)
+		}
+		base.Baseline = nil // never nest more than one level
+		snap.Baseline = &base
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

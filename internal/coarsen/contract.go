@@ -90,8 +90,9 @@ func (c *Contraction) Project(coarse *partition.Bisection) (*partition.Bisection
 		return nil, fmt.Errorf("coarsen: Project called with a bisection of a different graph")
 	}
 	side := make([]uint8, c.Fine.N())
+	cs := coarse.SidesRef() // read-only; avoids a per-vertex accessor call
 	for v := range side {
-		side[v] = coarse.Side(c.Map[v])
+		side[v] = cs[c.Map[v]]
 	}
 	return partition.New(c.Fine, side)
 }

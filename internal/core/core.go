@@ -75,6 +75,42 @@ func WithObserver(b Bisector, obs trace.Observer) Bisector {
 	return b
 }
 
+// Reusable is a Bisector whose repeated runs can share a reusable
+// refinement workspace (gain buckets, swap logs, scratch arrays) so
+// that steady-state passes allocate nothing. The algorithmic refiners
+// (KL, FM) and the composing drivers (Compacted, Multilevel, BestOf)
+// implement it; SA and the trivial baselines hold no reusable pass
+// state and do not.
+type Reusable interface {
+	Bisector
+	// WithWorkspace returns a copy of the bisector owning a freshly
+	// allocated private workspace that its runs reuse. Results are
+	// identical with or without a workspace. The returned bisector is
+	// not safe for concurrent use; create one per goroutine.
+	WithWorkspace() Bisector
+}
+
+// WithWorkspace attaches a private reusable workspace to b if b is
+// Reusable; otherwise it returns b unchanged. Drivers that run many
+// starts (BestOf, ParallelBestOf, the harness) call this once per
+// goroutine so every start after the first runs allocation-free.
+func WithWorkspace(b Bisector) Bisector {
+	if ru, ok := b.(Reusable); ok {
+		return ru.WithWorkspace()
+	}
+	return b
+}
+
+// withWorkspaceRefinable is WithWorkspace keeping the RefinableBisector
+// interface (it holds for the concrete algorithms; the fallback covers
+// exotic user implementations).
+func withWorkspaceRefinable(b RefinableBisector) RefinableBisector {
+	if rb, ok := WithWorkspace(b).(RefinableBisector); ok {
+		return rb
+	}
+	return b
+}
+
 // withObserverRefinable attaches obs to b, keeping the RefinableBisector
 // interface when the observed copy still satisfies it (it does for the
 // concrete algorithms; the fallback covers exotic user implementations).
@@ -256,6 +292,47 @@ func (a KL) WithObserver(obs trace.Observer) Bisector {
 	return a
 }
 
+// WithWorkspace implements Reusable for KL.
+func (a KL) WithWorkspace() Bisector {
+	a.Opts.Workspace = kl.NewRefiner()
+	return a
+}
+
+// WithWorkspace implements Reusable for FM.
+func (a FM) WithWorkspace() Bisector {
+	a.Opts.Workspace = fm.NewRefiner()
+	return a
+}
+
+// WithWorkspace implements Reusable for Compacted: the inner bisector's
+// workspace serves both the coarse solve and the final refinement (the
+// workspace sizes itself to the larger graph and is reused as-is on the
+// smaller one).
+func (c Compacted) WithWorkspace() Bisector {
+	if c.Inner != nil {
+		c.Inner = withWorkspaceRefinable(c.Inner)
+	}
+	return c
+}
+
+// WithWorkspace implements Reusable for Multilevel: one inner workspace
+// serves every level of the hierarchy.
+func (m Multilevel) WithWorkspace() Bisector {
+	if m.Inner != nil {
+		m.Inner = withWorkspaceRefinable(m.Inner)
+	}
+	return m
+}
+
+// WithWorkspace implements Reusable for BestOf: the inner workspace is
+// shared across the sequential starts.
+func (b BestOf) WithWorkspace() Bisector {
+	if b.Inner != nil {
+		b.Inner = WithWorkspace(b.Inner)
+	}
+	return b
+}
+
 // WithObserver implements Observable for SA.
 func (a SA) WithObserver(obs trace.Observer) Bisector {
 	a.Opts.Observer = obs
@@ -384,9 +461,12 @@ func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error
 	if starts <= 0 {
 		starts = 1
 	}
+	// One reusable workspace shared by all the sequential starts (a no-op
+	// for inner bisectors without reusable state).
+	base := WithWorkspace(b.Inner)
 	var best *partition.Bisection
 	for i := 0; i < starts; i++ {
-		inner := b.Inner
+		inner := base
 		if b.Observer != nil {
 			// Starts run sequentially on one stream, so events can flow
 			// straight through; only the start stamp is added.

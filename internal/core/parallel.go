@@ -73,21 +73,32 @@ func (p ParallelBestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisectio
 
 	results := make([]*partition.Bisection, starts)
 	errs := make([]error, starts)
+	// A fixed pool of workers pulls start indices from a channel; each
+	// worker owns one reusable workspace for its whole lifetime, so a
+	// 100-start run touches `workers` workspaces, not 100. Which worker
+	// runs which start cannot affect results: the random streams were
+	// split deterministically above, every start records into its own
+	// buffer, and workspaces carry no state between runs.
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < starts; i++ {
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			inner := p.Inner
-			if recs != nil {
-				inner = WithObserver(inner, recs[i])
+			base := WithWorkspace(p.Inner)
+			for i := range idx {
+				inner := base
+				if recs != nil {
+					inner = WithObserver(base, recs[i])
+				}
+				results[i], errs[i] = inner.Bisect(g, streams[i])
 			}
-			results[i], errs[i] = inner.Bisect(g, streams[i])
-		}(i)
+		}()
 	}
+	for i := 0; i < starts; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	var best *partition.Bisection
 	for i := 0; i < starts; i++ {

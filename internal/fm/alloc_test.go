@@ -1,0 +1,62 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// TestPassSteadyStateZeroAlloc locks in the workspace contract: once a
+// Refiner has seen a graph, further passes on graphs of that size
+// allocate nothing at all.
+func TestPassSteadyStateZeroAlloc(t *testing.T) {
+	r := rng.NewFib(21)
+	g, err := gen.GNP(300, 4.0/299, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := partition.NewRandom(g, r)
+	w := NewRefiner()
+	if _, _, err := w.Pass(b, Options{}); err != nil {
+		t.Fatal(err) // warm-up sizes the workspace
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := w.Pass(b, Options{}); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FM pass allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestWorkspaceMatchesFreshResults verifies a reused workspace produces
+// byte-identical refinements to fresh per-call state.
+func TestWorkspaceMatchesFreshResults(t *testing.T) {
+	w := NewRefiner()
+	for _, n := range []int{150, 30, 80} {
+		r := rng.NewFib(uint64(n))
+		g, err := gen.GNP(n, 3.0/float64(n-1), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := partition.NewRandom(g, rng.NewFib(7))
+		fresh := shared.Clone()
+		if _, err := w.Refine(shared, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Refine(fresh, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if shared.Cut() != fresh.Cut() {
+			t.Fatalf("n=%d: shared workspace cut=%d, fresh cut=%d", n, shared.Cut(), fresh.Cut())
+		}
+		for v := int32(0); int(v) < n; v++ {
+			if shared.Side(v) != fresh.Side(v) {
+				t.Fatalf("n=%d: side[%d] differs between shared and fresh workspace", n, v)
+			}
+		}
+	}
+}

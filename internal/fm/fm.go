@@ -9,6 +9,12 @@
 // move keeps the imbalance within tolerance is moved and locked, and its
 // neighbors' gains are updated. The best prefix of the move sequence is
 // kept; the rest is rolled back. Passes repeat until no improvement.
+//
+// As in package kl, all pass state (the bucket structures and the move
+// log) lives in a reusable Refiner workspace so steady-state passes
+// allocate nothing, and the per-graph bounds the pass needs (maximum
+// weighted degree, maximum vertex weight) are served from the graph's
+// Build-time caches instead of being recomputed every pass.
 package fm
 
 import (
@@ -30,6 +36,11 @@ type Options struct {
 	// end at; 0 means the maximum vertex weight of the graph (the
 	// tightest tolerance under which FM can still move anything).
 	MaxImbalance int64
+	// Workspace, when non-nil, supplies the reusable pass state (gain
+	// buckets, move log) so repeated runs allocate nothing. A nil
+	// Workspace makes Run/Refine/Pass allocate a private one. Workspaces
+	// are not safe for concurrent use; give each goroutine its own.
+	Workspace *Refiner
 	// Observer, when non-nil, receives move_batch, pass_done, and
 	// run_done trace events (see docs/OBSERVABILITY.md). Attaching one
 	// never changes the resulting bisection; nil costs nothing.
@@ -46,9 +57,54 @@ type Stats struct {
 	FinalCut   int64
 }
 
+// Refiner is the reusable workspace for FM passes: the two gain-bucket
+// structures and the move log. A zero Refiner is ready to use; it sizes
+// itself to each graph it sees and is reused across passes, starts, and
+// multilevel levels without further allocation. Refiners carry no
+// algorithm state between calls — using one never changes results — but
+// they are not safe for concurrent use.
+type Refiner struct {
+	buckets [2]partition.GainBuckets
+	moves   []int32
+}
+
+// NewRefiner returns an empty workspace. Equivalent to new(Refiner);
+// provided for call-site clarity.
+func NewRefiner() *Refiner { return new(Refiner) }
+
+// ensure sizes the workspace for g. Once the workspace has seen a graph
+// at least as large (in vertices and gain bound), this performs no
+// allocation.
+func (w *Refiner) ensure(g *graph.Graph) error {
+	n := g.N()
+	maxGain := g.MaxWeightedDegree()
+	for s := range w.buckets {
+		if err := w.buckets[s].Reset(n, maxGain); err != nil {
+			return err
+		}
+	}
+	if cap(w.moves) < n {
+		w.moves = make([]int32, 0, n)
+	}
+	return nil
+}
+
+// workspace returns opts.Workspace or a fresh private one.
+func workspace(opts Options) *Refiner {
+	if opts.Workspace != nil {
+		return opts.Workspace
+	}
+	return new(Refiner)
+}
+
 // Refine runs FM passes on b in place. The final bisection's imbalance is
 // at most max(opts.MaxImbalance, the imbalance it started with).
 func Refine(b *partition.Bisection, opts Options) (Stats, error) {
+	return workspace(opts).Refine(b, opts)
+}
+
+// Refine is Refine using this workspace (opts.Workspace is ignored).
+func (w *Refiner) Refine(b *partition.Bisection, opts Options) (Stats, error) {
 	st := Stats{InitialCut: b.Cut(), FinalCut: b.Cut()}
 	limit := opts.MaxPasses
 	if limit <= 0 {
@@ -64,7 +120,7 @@ func Refine(b *partition.Bisection, opts Options) (Stats, error) {
 		if obs != nil {
 			passStart = time.Now()
 		}
-		improved, moves, err := Pass(b, opts)
+		improved, moves, err := w.Pass(b, opts)
 		st.Passes++
 		st.Moves += moves
 		if err != nil {
@@ -114,17 +170,17 @@ func Run(g *graph.Graph, opts Options, r *rng.Rand) (*partition.Bisection, Stats
 // stays balanced, and an unbalanced input is repaired before the cut is
 // optimized.
 func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, err error) {
+	return workspace(opts).Pass(b, opts)
+}
+
+// Pass is Pass using this workspace (opts.Workspace is ignored).
+func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, err error) {
 	g := b.Graph()
 	n := g.N()
 	if n == 0 {
 		return 0, 0, nil
 	}
-	var maxVW int64 = 1
-	for v := int32(0); int(v) < n; v++ {
-		if w := int64(g.VertexWeight(v)); w > maxVW {
-			maxVW = w
-		}
-	}
+	maxVW := int64(g.MaxVertexWeight())
 	finalTol := opts.MaxImbalance
 	if finalTol <= 0 {
 		finalTol = maxVW
@@ -137,24 +193,15 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, er
 		moveTol = start
 	}
 
-	var maxGain int64
-	for v := int32(0); int(v) < n; v++ {
-		if wd := g.WeightedDegree(v); wd > maxGain {
-			maxGain = wd
-		}
+	if err := w.ensure(g); err != nil {
+		return 0, 0, err
 	}
-	var buckets [2]*partition.GainBuckets
-	for s := 0; s < 2; s++ {
-		buckets[s], err = partition.NewGainBuckets(n, maxGain)
-		if err != nil {
-			return 0, 0, err
-		}
-	}
+	buckets := [2]*partition.GainBuckets{&w.buckets[0], &w.buckets[1]}
 	for v := int32(0); int(v) < n; v++ {
 		buckets[b.Side(v)].Add(v, b.Gain(v))
 	}
 
-	moves := make([]int32, 0, n)
+	moves := w.moves[:0]
 	var cum, bestCum int64
 	bestK := 0
 	bestImb := b.Imbalance()
@@ -174,9 +221,7 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, er
 		buckets[b.Side(v)].Remove(v)
 		b.Move(v)
 		for _, e := range g.Neighbors(v) {
-			if buckets[b.Side(e.To)].Contains(e.To) {
-				buckets[b.Side(e.To)].Update(e.To, b.Gain(e.To))
-			}
+			buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
 		}
 		moves = append(moves, v)
 		cum += gain
@@ -213,6 +258,7 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, er
 	for i := len(moves) - 1; i >= bestK; i-- {
 		b.Move(moves[i])
 	}
+	w.moves = moves[:0] // keep the grown capacity for the next pass
 	if bestCum < 0 {
 		// The kept prefix traded cut for balance; report zero improvement
 		// so callers' accounting (improvement = cut decrease) stays
@@ -241,14 +287,16 @@ func emitMoveBatch(obs trace.Observer, b *partition.Bisection, batchIdx, moves i
 // tolerance OR strictly shrinks |d| (so repair moves are always allowed).
 func selectMove(b *partition.Bisection, buckets [2]*partition.GainBuckets, tol int64) int32 {
 	d := b.SideWeight(0) - b.SideWeight(1)
+	g := b.Graph()
 	bestV := int32(-1)
 	var bestG int64
 	for s := 0; s < 2; s++ {
-		buckets[s].Descending(func(v int32, gain int64) bool {
+		for c := buckets[s].Cursor(); c.Valid(); c.Next() {
+			v, gain := c.V(), c.Gain()
 			if bestV >= 0 && gain <= bestG {
-				return false // buckets are sorted; nothing better remains on this side
+				break // buckets are sorted; nothing better remains on this side
 			}
-			w := int64(b.Graph().VertexWeight(v))
+			w := int64(g.VertexWeight(v))
 			nd := d
 			if b.Side(v) == 0 {
 				nd -= 2 * w
@@ -264,10 +312,9 @@ func selectMove(b *partition.Bisection, buckets [2]*partition.GainBuckets, tol i
 			}
 			if nabs <= tol || nabs < abs {
 				bestV, bestG = v, gain
-				return false // best admissible on this side found
+				break // best admissible on this side found
 			}
-			return true // inadmissible; try next vertex
-		})
+		}
 	}
 	return bestV
 }

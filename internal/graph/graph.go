@@ -11,6 +11,16 @@
 // Vertices are identified by dense indices 0..N()-1 of type int32 (the
 // paper's instances are thousands of vertices; int32 halves the memory of
 // the adjacency structure and keeps it cache-friendly).
+//
+// Storage is compressed sparse row (CSR): one contiguous []Edge holding
+// all half-edges plus an N()+1 offset array, with each vertex's list
+// sorted by head vertex. The flat layout keeps refinement inner loops
+// (which walk the neighborhoods of many vertices per pass) on sequential
+// memory, and the sorted lists make EdgeWeight a binary search instead of
+// a linear probe. Derived per-vertex quantities that the algorithms
+// consult every pass — weighted degree, the maximum weighted degree (the
+// gain-bucket bound), the maximum vertex weight — are computed once at
+// Build time and served in O(1).
 package graph
 
 import (
@@ -29,15 +39,22 @@ type Edge struct {
 // Graph is an immutable weighted undirected simple graph. Construct one
 // with a Builder or a generator from internal/gen.
 type Graph struct {
-	adj  [][]Edge
-	vw   []int32
-	m    int   // number of undirected edges
-	ew   int64 // total edge weight
-	vwUp int64 // total vertex weight
+	n     int
+	off   []int32 // CSR offsets: v's half-edges are edges[off[v]:off[v+1]]
+	edges []Edge  // all half-edges, each list sorted by To
+	vw    []int32
+	wdeg  []int64 // cached weighted degree per vertex
+	m     int     // number of undirected edges
+	ew    int64   // total edge weight
+	vwUp  int64   // total vertex weight
+
+	maxDeg  int   // cached maximum degree
+	maxWDeg int64 // cached maximum weighted degree (the gain bound)
+	maxVW   int32 // cached maximum vertex weight (1 for plain graphs)
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
@@ -49,20 +66,28 @@ func (g *Graph) TotalEdgeWeight() int64 { return g.ew }
 func (g *Graph) TotalVertexWeight() int64 { return g.vwUp }
 
 // Degree returns the number of neighbors of v.
-func (g *Graph) Degree(v int32) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
 
-// WeightedDegree returns the sum of edge weights incident to v.
-func (g *Graph) WeightedDegree(v int32) int64 {
-	var s int64
-	for _, e := range g.adj[v] {
-		s += int64(e.W)
-	}
-	return s
+// WeightedDegree returns the sum of edge weights incident to v (cached at
+// Build time; O(1)).
+func (g *Graph) WeightedDegree(v int32) int64 { return g.wdeg[v] }
+
+// MaxWeightedDegree returns the maximum weighted degree over all vertices
+// (0 for the empty graph). This is the gain bound the bucket structures
+// of the refinement algorithms need every pass; it is cached at Build
+// time.
+func (g *Graph) MaxWeightedDegree() int64 { return g.maxWDeg }
+
+// MaxVertexWeight returns the largest vertex weight (1 for plain graphs
+// and for the empty graph, so it is always a valid positive weight).
+func (g *Graph) MaxVertexWeight() int32 { return g.maxVW }
+
+// Neighbors returns v's adjacency list, sorted by head vertex. The
+// returned slice aliases the graph's CSR storage and must not be
+// modified.
+func (g *Graph) Neighbors(v int32) []Edge {
+	return g.edges[g.off[v]:g.off[v+1]:g.off[v+1]]
 }
-
-// Neighbors returns v's adjacency list. The returned slice is owned by the
-// graph and must not be modified.
-func (g *Graph) Neighbors(v int32) []Edge { return g.adj[v] }
 
 // VertexWeight returns the weight of v (1 for plain graphs).
 func (g *Graph) VertexWeight(v int32) int32 {
@@ -77,46 +102,59 @@ func (g *Graph) Weighted() bool { return g.vw != nil }
 
 // AvgDegree returns the average (unweighted) vertex degree, 2M/N.
 func (g *Graph) AvgDegree() float64 {
-	if g.N() == 0 {
+	if g.n == 0 {
 		return 0
 	}
-	return 2 * float64(g.m) / float64(g.N())
+	return 2 * float64(g.m) / float64(g.n)
 }
 
-// HasEdge reports whether {u,v} is an edge. O(min(deg u, deg v)).
+// HasEdge reports whether {u,v} is an edge. O(log min(deg u, deg v)).
 func (g *Graph) HasEdge(u, v int32) bool {
 	return g.EdgeWeight(u, v) != 0
 }
 
-// EdgeWeight returns the weight of edge {u,v}, or 0 if absent.
+// edgeWeightSearchMin is the list length above which EdgeWeight switches
+// from a linear scan to binary search; short lists (the common case on
+// the paper's sparse instances) scan faster than they bisect.
+const edgeWeightSearchMin = 8
+
+// EdgeWeight returns the weight of edge {u,v}, or 0 if absent. Adjacency
+// lists are sorted by head vertex, so this is a binary search on the
+// smaller endpoint's list (with a linear scan below a small cutoff).
 func (g *Graph) EdgeWeight(u, v int32) int32 {
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a, u, v = g.adj[v], v, u
+	lo, hi := g.off[u], g.off[u+1]
+	if l2, h2 := g.off[v], g.off[v+1]; h2-l2 < hi-lo {
+		lo, hi, v = l2, h2, u
 	}
-	for _, e := range a {
-		if e.To == v {
-			return e.W
+	if hi-lo <= edgeWeightSearchMin {
+		for i := lo; i < hi; i++ {
+			if g.edges[i].To == v {
+				return g.edges[i].W
+			}
+		}
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t := g.edges[mid].To; t == v {
+			return g.edges[mid].W
+		} else if t < v {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
 	return 0
 }
 
-// MaxDegree returns the maximum vertex degree (0 for the empty graph).
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
-			max = d
-		}
-	}
-	return max
-}
+// MaxDegree returns the maximum vertex degree (0 for the empty graph;
+// cached at Build time).
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // Edges calls fn once per undirected edge {u,v} with u < v.
 func (g *Graph) Edges(fn func(u, v int32, w int32)) {
-	for u := range g.adj {
-		for _, e := range g.adj[u] {
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.edges[g.off[u]:g.off[u+1]] {
 			if int32(u) < e.To {
 				fn(int32(u), e.To, e.W)
 			}
@@ -126,46 +164,61 @@ func (g *Graph) Edges(fn func(u, v int32, w int32)) {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{m: g.m, ew: g.ew, vwUp: g.vwUp}
-	c.adj = make([][]Edge, len(g.adj))
-	for v := range g.adj {
-		c.adj[v] = append([]Edge(nil), g.adj[v]...)
-	}
+	c := *g
+	c.off = append([]int32(nil), g.off...)
+	c.edges = append([]Edge(nil), g.edges...)
+	c.wdeg = append([]int64(nil), g.wdeg...)
 	if g.vw != nil {
 		c.vw = append([]int32(nil), g.vw...)
 	}
-	return c
+	return &c
 }
 
 // Validate checks the structural invariants: adjacency symmetry with equal
-// weights, no self-loops, no parallel edges, positive weights, and
-// consistent cached totals. It returns the first violation found.
+// weights, sorted lists, no self-loops, no parallel edges, positive
+// weights, and consistent cached totals. It returns the first violation
+// found.
 func (g *Graph) Validate() error {
+	if len(g.off) != g.n+1 && !(g.n == 0 && len(g.off) == 0) {
+		return fmt.Errorf("graph: offset array has %d entries for %d vertices", len(g.off), g.n)
+	}
 	var m int
 	var ew int64
-	for u := range g.adj {
-		seen := make(map[int32]bool, len(g.adj[u]))
-		for _, e := range g.adj[u] {
-			if e.To < 0 || int(e.To) >= g.N() {
-				return fmt.Errorf("graph: vertex %d has neighbor %d out of range [0,%d)", u, e.To, g.N())
+	var maxDeg int
+	var maxWDeg int64
+	for u := int32(0); int(u) < g.n; u++ {
+		nbrs := g.Neighbors(u)
+		if len(nbrs) > maxDeg {
+			maxDeg = len(nbrs)
+		}
+		var wd int64
+		for i, e := range nbrs {
+			if e.To < 0 || int(e.To) >= g.n {
+				return fmt.Errorf("graph: vertex %d has neighbor %d out of range [0,%d)", u, e.To, g.n)
 			}
-			if e.To == int32(u) {
+			if e.To == u {
 				return fmt.Errorf("graph: self-loop at vertex %d", u)
 			}
 			if e.W <= 0 {
 				return fmt.Errorf("graph: non-positive weight %d on edge {%d,%d}", e.W, u, e.To)
 			}
-			if seen[e.To] {
-				return fmt.Errorf("graph: parallel edge {%d,%d}", u, e.To)
+			if i > 0 && nbrs[i-1].To >= e.To {
+				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted at %d", u, e.To)
 			}
-			seen[e.To] = true
-			if w := g.EdgeWeight(e.To, int32(u)); w != e.W {
+			if w := g.EdgeWeight(e.To, u); w != e.W {
 				return fmt.Errorf("graph: asymmetric edge {%d,%d}: %d vs %d", u, e.To, e.W, w)
 			}
-			if int32(u) < e.To {
+			wd += int64(e.W)
+			if u < e.To {
 				m++
 				ew += int64(e.W)
 			}
+		}
+		if wd != g.wdeg[u] {
+			return fmt.Errorf("graph: cached weighted degree %d of vertex %d != actual %d", g.wdeg[u], u, wd)
+		}
+		if wd > maxWDeg {
+			maxWDeg = wd
 		}
 	}
 	if m != g.m {
@@ -174,16 +227,29 @@ func (g *Graph) Validate() error {
 	if ew != g.ew {
 		return fmt.Errorf("graph: cached edge weight %d != actual %d", g.ew, ew)
 	}
+	if maxDeg != g.maxDeg {
+		return fmt.Errorf("graph: cached max degree %d != actual %d", g.maxDeg, maxDeg)
+	}
+	if maxWDeg != g.maxWDeg {
+		return fmt.Errorf("graph: cached max weighted degree %d != actual %d", g.maxWDeg, maxWDeg)
+	}
 	var vw int64
-	for v := int32(0); int(v) < g.N(); v++ {
+	var maxVW int32 = 1
+	for v := int32(0); int(v) < g.n; v++ {
 		w := g.VertexWeight(v)
 		if w <= 0 {
 			return fmt.Errorf("graph: non-positive vertex weight %d at vertex %d", w, v)
+		}
+		if w > maxVW {
+			maxVW = w
 		}
 		vw += int64(w)
 	}
 	if vw != g.vwUp {
 		return fmt.Errorf("graph: cached vertex weight %d != actual %d", g.vwUp, vw)
+	}
+	if maxVW != g.maxVW {
+		return fmt.Errorf("graph: cached max vertex weight %d != actual %d", g.maxVW, maxVW)
 	}
 	return nil
 }
@@ -276,8 +342,9 @@ func (b *Builder) AddWeightedEdge(u, v int32, w int32) {
 	b.ws = append(b.ws, w)
 }
 
-// Build finalizes the graph. It merges duplicate edges, sorts adjacency
-// lists by head vertex, and computes the cached totals.
+// Build finalizes the graph: it merges duplicate edges, lays the
+// half-edges out in CSR order with each list sorted by head vertex, and
+// computes the cached totals and per-vertex degree summaries.
 func (b *Builder) Build() (*Graph, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -295,7 +362,7 @@ func (b *Builder) Build() (*Graph, error) {
 		return b.vs[i] < b.vs[j]
 	})
 
-	g := &Graph{adj: make([][]Edge, b.n)}
+	g := &Graph{n: b.n}
 	deg := make([]int32, b.n)
 	// First pass: merged edge list and degrees.
 	type triple struct{ u, v, w int32 }
@@ -315,23 +382,54 @@ func (b *Builder) Build() (*Graph, error) {
 		deg[u]++
 		deg[v]++
 	}
-	for v := range g.adj {
-		g.adj[v] = make([]Edge, 0, deg[v])
+	// CSR offsets by prefix sum, then scatter the half-edges with a
+	// per-vertex cursor.
+	g.off = make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] = g.off[v] + deg[v]
 	}
+	g.edges = make([]Edge, 2*len(merged))
+	cur := make([]int32, b.n)
+	copy(cur, g.off[:b.n])
 	for _, t := range merged {
-		g.adj[t.u] = append(g.adj[t.u], Edge{To: t.v, W: t.w})
-		g.adj[t.v] = append(g.adj[t.v], Edge{To: t.u, W: t.w})
+		g.edges[cur[t.u]] = Edge{To: t.v, W: t.w}
+		cur[t.u]++
+		g.edges[cur[t.v]] = Edge{To: t.u, W: t.w}
+		cur[t.v]++
 		g.m++
 		g.ew += int64(t.w)
 	}
-	for v := range g.adj {
-		a := g.adj[v]
+	// merged is sorted by (u, v): vertex u's forward half-edges (to v > u)
+	// arrive in sorted order, and so do its reverse half-edges (from
+	// u' < u, emitted in increasing u'), but the two runs interleave —
+	// sort each list once to establish the by-To order EdgeWeight relies
+	// on.
+	for v := 0; v < b.n; v++ {
+		a := g.edges[g.off[v]:g.off[v+1]]
 		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
 	}
+	g.wdeg = make([]int64, b.n)
+	for v := 0; v < b.n; v++ {
+		var wd int64
+		for _, e := range g.edges[g.off[v]:g.off[v+1]] {
+			wd += int64(e.W)
+		}
+		g.wdeg[v] = wd
+		if wd > g.maxWDeg {
+			g.maxWDeg = wd
+		}
+		if d := int(deg[v]); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	g.maxVW = 1
 	if b.vw != nil {
 		g.vw = b.vw
 		for _, w := range b.vw {
 			g.vwUp += int64(w)
+			if w > g.maxVW {
+				g.maxVW = w
+			}
 		}
 	} else {
 		g.vwUp = int64(b.n)

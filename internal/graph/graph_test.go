@@ -197,8 +197,8 @@ func TestCloneIsDeep(t *testing.T) {
 	g := path(t, 5)
 	c := g.Clone()
 	// Mutate the clone's adjacency in place; original must not change.
-	c.adj[0][0].W = 99
-	if g.adj[0][0].W == 99 {
+	c.edges[0].W = 99
+	if g.edges[0].W == 99 {
 		t.Fatal("Clone shares adjacency storage")
 	}
 	if err := g.Validate(); err != nil {
@@ -327,8 +327,9 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Fatal("Validate missed corrupted edge count")
 	}
 	g.m--
-	// Corrupt symmetry.
-	g.adj[0][0].W = 9
+	// Corrupt symmetry (the reverse half-edge keeps the old weight, and
+	// the cached weighted degree no longer matches either).
+	g.edges[0].W = 9
 	if err := g.Validate(); err == nil {
 		t.Fatal("Validate missed asymmetric weights")
 	}

@@ -23,7 +23,7 @@ func (g *Graph) Components() (id []int32, count int) {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, e := range g.adj[u] {
+			for _, e := range g.Neighbors(u) {
 				if id[e.To] < 0 {
 					id[e.To] = cid
 					queue = append(queue, e.To)
@@ -63,7 +63,7 @@ func (g *Graph) BFS(src int32) []int32 {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, e := range g.adj[u] {
+		for _, e := range g.Neighbors(u) {
 			if dist[e.To] < 0 {
 				dist[e.To] = dist[u] + 1
 				queue = append(queue, e.To)
@@ -92,16 +92,16 @@ func (g *Graph) DegreeHistogram() []int {
 		return nil
 	}
 	h := make([]int, g.MaxDegree()+1)
-	for v := range g.adj {
-		h[len(g.adj[v])]++
+	for v := int32(0); int(v) < g.N(); v++ {
+		h[g.Degree(v)]++
 	}
 	return h
 }
 
 // IsRegular reports whether every vertex has degree d.
 func (g *Graph) IsRegular(d int) bool {
-	for v := range g.adj {
-		if len(g.adj[v]) != d {
+	for v := int32(0); int(v) < g.N(); v++ {
+		if g.Degree(v) != d {
 			return false
 		}
 	}
@@ -114,22 +114,22 @@ func (g *Graph) CountTriangles() int64 {
 	var t int64
 	mark := make([]bool, g.N())
 	for u := int32(0); int(u) < g.N(); u++ {
-		for _, e := range g.adj[u] {
+		for _, e := range g.Neighbors(u) {
 			mark[e.To] = true
 		}
-		for _, e := range g.adj[u] {
+		for _, e := range g.Neighbors(u) {
 			v := e.To
 			if v < u {
 				continue
 			}
-			for _, f := range g.adj[v] {
+			for _, f := range g.Neighbors(v) {
 				w := f.To
 				if w > v && mark[w] {
 					t++
 				}
 			}
 		}
-		for _, e := range g.adj[u] {
+		for _, e := range g.Neighbors(u) {
 			mark[e.To] = false
 		}
 	}

@@ -217,6 +217,13 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 		rec = trace.NewRecorder(0)
 		rowObs = trace.WithLabel(rec, spec.Label)
 	}
+	// One reusable workspace per (row, algorithm): rows may run on
+	// separate goroutines, so workspaces are never shared across rows,
+	// but within a row every instance and start reuses the same one.
+	algs := make([]core.Bisector, len(c.Algorithms))
+	for i, alg := range c.Algorithms {
+		algs[i] = core.WithWorkspace(alg)
+	}
 	cuts := map[string][]int64{}
 	secs := map[string][]float64{}
 	for inst := 0; inst < instances; inst++ {
@@ -228,14 +235,14 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 		if err != nil {
 			return RowResult{}, nil, err
 		}
-		for _, alg := range c.Algorithms {
+		for algIdx, alg := range c.Algorithms {
 			ar := base.Split()
 			start := time.Now()
 			best := int64(1) << 62
 			for s := 0; s < c.Starts; s++ {
-				a := alg
+				a := algs[algIdx]
 				if rowObs != nil {
-					a = core.WithObserver(alg, trace.WithStart(rowObs, s))
+					a = core.WithObserver(algs[algIdx], trace.WithStart(rowObs, s))
 				}
 				b, err := a.Bisect(g, ar)
 				if err != nil {

@@ -15,6 +15,15 @@
 // the best pair found. With bucket gain lists this makes a pass fast in
 // practice; the pruning can be disabled (for the ablation benchmark),
 // which falls back to the full quadratic scan with identical results.
+//
+// Hot-path engineering (none of it changes results): before the B-side
+// candidates of a given a are scanned, a's incident edge weights are
+// stamped into an epoch-versioned scratch array, so each scanned pair
+// costs an O(1) array read instead of an adjacency probe; and all pass
+// state (the two gain-bucket structures, the swap log, the scratch
+// stamps) lives in a reusable Refiner workspace, so steady-state passes
+// allocate nothing. Both fast paths can be disabled via Options for the
+// ablation benchmarks, again with identical results.
 package kl
 
 import (
@@ -36,6 +45,17 @@ type Options struct {
 	// pair scan. Results are identical; only running time changes. Used by
 	// the KL-scan ablation.
 	DisablePruning bool
+	// DisableScratch turns off the stamped-scratch connectivity lookup in
+	// the pair scan and probes the graph's adjacency for every scanned
+	// pair instead. Results (including the ScannedPairs stat) are
+	// identical; only running time changes. Used by the KL-scan ablation.
+	DisableScratch bool
+	// Workspace, when non-nil, supplies the reusable pass state (gain
+	// buckets, swap log, scratch stamps) so repeated runs allocate
+	// nothing. A nil Workspace makes Run/Refine/Pass allocate a private
+	// one. Workspaces are not safe for concurrent use; give each
+	// goroutine its own (see core.ParallelBestOf).
+	Workspace *Refiner
 	// Observer, when non-nil, receives move_batch, pass_done, and
 	// run_done trace events (see docs/OBSERVABILITY.md). Observers never
 	// touch the random stream, so attaching one cannot change the
@@ -57,10 +77,92 @@ type Stats struct {
 	ScannedPairs int64 // candidate pairs examined during selection
 }
 
+type swapRec struct {
+	a, bv int32
+	gain  int64
+}
+
+// Refiner is the reusable workspace for KL passes: the two gain-bucket
+// structures, the swap log, and the epoch-stamped neighbor-weight scratch
+// used by the pair scan. A zero Refiner is ready to use; it sizes itself
+// to each graph it sees and is reused across passes, starts, and
+// multilevel levels without further allocation. Refiners carry no
+// algorithm state between calls — using one never changes results — but
+// they are not safe for concurrent use.
+type Refiner struct {
+	buckets [2]partition.GainBuckets
+	swaps   []swapRec
+	// scratch[v] packs (epoch, w(a,v)) for the currently stamped a —
+	// epoch in the high 32 bits, edge weight in the low 32 — so the pair
+	// scan's connectivity lookup is a single aligned load.
+	scratch []uint64
+	epoch   uint32
+}
+
+// NewRefiner returns an empty workspace. Equivalent to new(Refiner);
+// provided for call-site clarity.
+func NewRefiner() *Refiner { return new(Refiner) }
+
+// ensure sizes the workspace for g. Once the workspace has seen a graph
+// at least as large (in vertices and gain bound), this performs no
+// allocation.
+func (w *Refiner) ensure(g *graph.Graph) error {
+	n := g.N()
+	maxGain := g.MaxWeightedDegree()
+	for s := range w.buckets {
+		if err := w.buckets[s].Reset(n, maxGain); err != nil {
+			return err
+		}
+	}
+	if cap(w.scratch) < n {
+		w.scratch = make([]uint64, n)
+		w.epoch = 0
+	}
+	w.scratch = w.scratch[:n]
+	if w.swaps == nil {
+		w.swaps = make([]swapRec, 0, n/2+1)
+	}
+	return nil
+}
+
+// stamp records a's incident edge weights in the scratch array under a
+// fresh epoch and returns that epoch. Entries from earlier stampings stay
+// in place but carry older epochs, so a single comparison identifies the
+// valid ones — no clearing between stampings.
+func (w *Refiner) stamp(g *graph.Graph, a int32) uint32 {
+	w.epoch++
+	if w.epoch == 0 {
+		// Wrapped around: stale stamps could collide with reused epoch
+		// values, so clear everything once per 2³² stampings. The full
+		// capacity is cleared because ensure() may later re-expose hidden
+		// entries on a larger graph.
+		clear(w.scratch[:cap(w.scratch)])
+		w.epoch = 1
+	}
+	hi := uint64(w.epoch) << 32
+	for _, e := range g.Neighbors(a) {
+		w.scratch[e.To] = hi | uint64(uint32(e.W))
+	}
+	return w.epoch
+}
+
+// workspace returns opts.Workspace or a fresh private one.
+func workspace(opts Options) *Refiner {
+	if opts.Workspace != nil {
+		return opts.Workspace
+	}
+	return new(Refiner)
+}
+
 // Refine runs KL passes on b in place until no pass improves the cut (or
 // opts.MaxPasses is reached). The bisection's side sizes are preserved
 // exactly: KL only ever exchanges opposite-side pairs.
 func Refine(b *partition.Bisection, opts Options) (Stats, error) {
+	return workspace(opts).Refine(b, opts)
+}
+
+// Refine is Refine using this workspace (opts.Workspace is ignored).
+func (w *Refiner) Refine(b *partition.Bisection, opts Options) (Stats, error) {
 	st := Stats{InitialCut: b.Cut(), FinalCut: b.Cut()}
 	limit := opts.MaxPasses
 	if limit <= 0 {
@@ -76,7 +178,7 @@ func Refine(b *partition.Bisection, opts Options) (Stats, error) {
 		if obs != nil {
 			passStart = time.Now()
 		}
-		improved, swaps, scanned, err := Pass(b, opts)
+		improved, swaps, scanned, err := w.Pass(b, opts)
 		st.Passes++
 		st.Swaps += swaps
 		st.ScannedPairs += scanned
@@ -119,26 +221,20 @@ func Run(g *graph.Graph, opts Options, r *rng.Rand) (*partition.Bisection, Stats
 // improvement achieved (≥ 0), the number of pair exchanges kept, and the
 // number of candidate pairs scanned.
 func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, scanned int64, err error) {
+	return workspace(opts).Pass(b, opts)
+}
+
+// Pass is Pass using this workspace (opts.Workspace is ignored).
+func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, scanned int64, err error) {
 	g := b.Graph()
 	n := g.N()
 	if n == 0 {
 		return 0, 0, 0, nil
 	}
-	// Gain bound: the largest |gain| any vertex can have is its weighted
-	// degree.
-	var maxGain int64
-	for v := int32(0); int(v) < n; v++ {
-		if wd := g.WeightedDegree(v); wd > maxGain {
-			maxGain = wd
-		}
+	if err := w.ensure(g); err != nil {
+		return 0, 0, 0, err
 	}
-	var buckets [2]*partition.GainBuckets
-	for s := 0; s < 2; s++ {
-		buckets[s], err = partition.NewGainBuckets(n, maxGain)
-		if err != nil {
-			return 0, 0, 0, err
-		}
-	}
+	buckets := [2]*partition.GainBuckets{&w.buckets[0], &w.buckets[1]}
 	for v := int32(0); int(v) < n; v++ {
 		buckets[b.Side(v)].Add(v, b.Gain(v))
 	}
@@ -147,11 +243,7 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 		steps = l
 	}
 
-	type swapRec struct {
-		a, bv int32
-		gain  int64
-	}
-	swaps := make([]swapRec, 0, steps)
+	swaps := w.swaps[:0]
 	var cum, bestCum int64
 	bestK := 0
 
@@ -165,7 +257,7 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 	}
 
 	for i := 0; i < steps; i++ {
-		a, bv, g2, sc := selectPair(b, buckets, opts.DisablePruning)
+		a, bv, g2, sc := w.selectPair(b, buckets, opts)
 		scanned += sc
 		if a < 0 {
 			break // no opposite-side pair remains (disconnected corner case)
@@ -177,14 +269,10 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 		// Neighbor gains changed; refresh bucket entries of unlocked
 		// neighbors.
 		for _, e := range g.Neighbors(a) {
-			if buckets[b.Side(e.To)].Contains(e.To) {
-				buckets[b.Side(e.To)].Update(e.To, b.Gain(e.To))
-			}
+			buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
 		}
 		for _, e := range g.Neighbors(bv) {
-			if buckets[b.Side(e.To)].Contains(e.To) {
-				buckets[b.Side(e.To)].Update(e.To, b.Gain(e.To))
-			}
+			buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
 		}
 		swaps = append(swaps, swapRec{a: a, bv: bv, gain: g2})
 		cum += g2
@@ -212,6 +300,7 @@ func Pass(b *partition.Bisection, opts Options) (improvement int64, kept int, sc
 	for i := len(swaps) - 1; i >= bestK; i-- {
 		b.Swap(swaps[i].a, swaps[i].bv)
 	}
+	w.swaps = swaps[:0] // keep the grown capacity for the next pass
 	return bestCum, bestK, scanned, nil
 }
 
@@ -228,34 +317,54 @@ func emitMoveBatch(obs trace.Observer, b *partition.Bisection, batchIdx, moves i
 
 // selectPair returns the unlocked opposite-side pair with maximum swap
 // gain, or a = −1 if either side is exhausted.
-func selectPair(b *partition.Bisection, buckets [2]*partition.GainBuckets, noPrune bool) (a, bv int32, gain int64, scanned int64) {
+//
+// The candidate order, the pruning decisions, and therefore the selected
+// pair and the scanned count are identical whether the connecting weight
+// comes from the stamped scratch (the default O(1) lookup) or from an
+// adjacency probe (DisableScratch) — only the per-pair cost differs.
+func (w *Refiner) selectPair(b *partition.Bisection, buckets [2]*partition.GainBuckets, opts Options) (a, bv int32, gain int64, scanned int64) {
 	if buckets[0].Len() == 0 || buckets[1].Len() == 0 {
 		return -1, -1, 0, 0
 	}
 	g := b.Graph()
+	noPrune := opts.DisablePruning
+	useScratch := !opts.DisableScratch
 	_, maxB, _ := buckets[1].Max()
 	first := true
 	var bestA, bestB int32
 	var best int64
-	buckets[0].Descending(func(av int32, ga int64) bool {
+	scratch := w.scratch
+	for ca := buckets[0].Cursor(); ca.Valid(); ca.Next() {
+		av, ga := ca.V(), ca.Gain()
 		if !noPrune && !first && ga+maxB <= best {
-			return false // no a beyond this point can beat best
+			break // no a beyond this point can beat best
 		}
-		buckets[1].Descending(func(bvv int32, gb int64) bool {
+		var cur uint64
+		if useScratch {
+			cur = uint64(w.stamp(g, av)) << 32
+		}
+		for cb := buckets[1].Cursor(); cb.Valid(); cb.Next() {
+			bvv, gb := cb.V(), cb.Gain()
 			if !noPrune && !first && ga+gb <= best {
-				return false
+				break
 			}
 			scanned++
-			pg := ga + gb - 2*int64(g.EdgeWeight(av, bvv))
+			var ew int64
+			if useScratch {
+				if q := scratch[bvv]; q&^0xFFFFFFFF == cur {
+					ew = int64(int32(uint32(q)))
+				}
+			} else {
+				ew = int64(g.EdgeWeight(av, bvv))
+			}
+			pg := ga + gb - 2*ew
 			if first || pg > best {
 				first = false
 				best = pg
 				bestA, bestB = av, bvv
 			}
-			return true
-		})
-		return first || noPrune || ga+maxB > best
-	})
+		}
+	}
 	if first {
 		return -1, -1, 0, scanned
 	}

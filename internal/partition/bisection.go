@@ -102,6 +102,13 @@ func (b *Bisection) Side(v int32) uint8 { return b.side[v] }
 // Sides returns a copy of the side assignment.
 func (b *Bisection) Sides() []uint8 { return append([]uint8(nil), b.side...) }
 
+// SidesRef returns the live side assignment without copying. The slice
+// is owned by the bisection: it must not be mutated, and its contents
+// change with every Move/Swap. Hot read-only consumers (projection,
+// cut evaluation, snapshotting into caller-owned buffers) use this to
+// avoid a per-call allocation; everyone else should prefer Sides.
+func (b *Bisection) SidesRef() []uint8 { return b.side }
+
 // Cut returns the weighted cut.
 func (b *Bisection) Cut() int64 { return b.cut }
 
@@ -148,14 +155,18 @@ func (b *Bisection) Move(v int32) {
 	w := int64(b.g.VertexWeight(v))
 	b.sideW[old] -= w
 	b.sideW[1-old] += w
+	// Each neighbor's gain changes by +2w if it now sits across from v
+	// (the edge joined the cut) and −2w if alongside (the edge left the
+	// cut, so moving the neighbor would re-create it). Neighbor sides are
+	// close to coin flips during refinement, so the sign is applied with
+	// two's-complement arithmetic instead of an unpredictable branch:
+	// m = 0 selects +d, m = −1 selects (d ^ −1) + 1 = −d.
+	side, gain := b.side, b.gain
+	sv := b.side[v]
 	for _, e := range b.g.Neighbors(v) {
-		if b.side[e.To] == b.side[v] {
-			// e.To was on the destination side: the edge left the cut, so
-			// moving e.To would now re-create it.
-			b.gain[e.To] -= 2 * int64(e.W)
-		} else {
-			b.gain[e.To] += 2 * int64(e.W)
-		}
+		d := int64(e.W) << 1
+		m := int64(side[e.To]^sv) - 1
+		gain[e.To] += (d ^ m) - m
 	}
 }
 

@@ -10,14 +10,18 @@ import "fmt"
 //
 // Within a bucket, vertices are kept in LIFO order, the tie-breaking rule
 // of the original FM paper.
+//
+// Per-vertex state is packed into two flat arrays of 64-bit words — the
+// (next, prev) list links in one, the (bucket index, gain) pair in the
+// other — so every list operation touches one cache line per vertex
+// instead of four. The packed gain is an int32, which the maxBucketSpan
+// cap guarantees is exact.
 type GainBuckets struct {
 	maxGain int64
-	head    []int32 // bucket index -> first vertex, or -1
-	next    []int32 // vertex -> successor in its bucket, or -1
-	prev    []int32 // vertex -> predecessor, or -1 if first
-	bucket  []int32 // vertex -> bucket index, or -1 if absent
-	gain    []int64 // vertex -> current gain (valid when present)
-	maxIdx  int     // highest possibly-non-empty bucket (lazily lowered)
+	head    []int32  // bucket index -> first vertex, or -1
+	links   []uint64 // vertex -> packed (next, prev), each an int32, -1 sentinels
+	slots   []uint64 // vertex -> packed (bucket index or -1, gain)
+	maxIdx  int      // highest possibly-non-empty bucket (lazily lowered)
 	size    int
 }
 
@@ -26,41 +30,64 @@ type GainBuckets struct {
 // graphs stay in the low thousands).
 const maxBucketSpan = 1 << 24
 
+func packPair(lo, hi int32) uint64 { return uint64(uint32(lo)) | uint64(uint32(hi))<<32 }
+func unpackLo(p uint64) int32      { return int32(uint32(p)) }
+func unpackHi(p uint64) int32      { return int32(uint32(p >> 32)) }
+
 // NewGainBuckets returns an empty structure for n vertices with gains in
 // [−maxGain, maxGain].
 func NewGainBuckets(n int, maxGain int64) (*GainBuckets, error) {
+	gb := &GainBuckets{}
+	if err := gb.Reset(n, maxGain); err != nil {
+		return nil, err
+	}
+	return gb, nil
+}
+
+// Reset re-initializes the structure to empty for n vertices with gains
+// in [−maxGain, maxGain], reusing the existing arrays whenever they are
+// large enough. A warmed-up structure resets without allocating, which is
+// what lets the refinement workspaces run steady-state passes at zero
+// allocations.
+func (gb *GainBuckets) Reset(n int, maxGain int64) error {
 	if maxGain < 0 {
-		return nil, fmt.Errorf("partition: negative gain bound %d", maxGain)
+		return fmt.Errorf("partition: negative gain bound %d", maxGain)
 	}
 	if maxGain > maxBucketSpan {
-		return nil, fmt.Errorf("partition: gain bound %d exceeds supported span %d", maxGain, maxBucketSpan)
+		return fmt.Errorf("partition: gain bound %d exceeds supported span %d", maxGain, maxBucketSpan)
 	}
-	gb := &GainBuckets{
-		maxGain: maxGain,
-		head:    make([]int32, 2*maxGain+1),
-		next:    make([]int32, n),
-		prev:    make([]int32, n),
-		bucket:  make([]int32, n),
-		gain:    make([]int64, n),
-		maxIdx:  -1,
+	span := int(2*maxGain + 1)
+	if cap(gb.head) < span {
+		gb.head = make([]int32, span)
 	}
+	gb.head = gb.head[:span]
 	for i := range gb.head {
 		gb.head[i] = -1
 	}
-	for i := range gb.bucket {
-		gb.bucket[i] = -1
+	if cap(gb.links) < n {
+		gb.links = make([]uint64, n)
+		gb.slots = make([]uint64, n)
 	}
-	return gb, nil
+	gb.links = gb.links[:n]
+	gb.slots = gb.slots[:n]
+	absent := packPair(-1, 0)
+	for i := range gb.slots {
+		gb.slots[i] = absent
+	}
+	gb.maxGain = maxGain
+	gb.maxIdx = -1
+	gb.size = 0
+	return nil
 }
 
 // Len returns the number of vertices currently in the structure.
 func (gb *GainBuckets) Len() int { return gb.size }
 
 // Contains reports whether v is present.
-func (gb *GainBuckets) Contains(v int32) bool { return gb.bucket[v] >= 0 }
+func (gb *GainBuckets) Contains(v int32) bool { return unpackLo(gb.slots[v]) >= 0 }
 
 // GainOf returns the stored gain of v; v must be present.
-func (gb *GainBuckets) GainOf(v int32) int64 { return gb.gain[v] }
+func (gb *GainBuckets) GainOf(v int32) int64 { return int64(unpackHi(gb.slots[v])) }
 
 func (gb *GainBuckets) idx(gain int64) int32 {
 	if gain < -gb.maxGain || gain > gb.maxGain {
@@ -71,16 +98,15 @@ func (gb *GainBuckets) idx(gain int64) int32 {
 
 // Add inserts v with the given gain. v must not be present.
 func (gb *GainBuckets) Add(v int32, gain int64) {
-	if gb.bucket[v] >= 0 {
+	if unpackLo(gb.slots[v]) >= 0 {
 		panic("partition: Add of vertex already present")
 	}
 	i := gb.idx(gain)
-	gb.bucket[v] = i
-	gb.gain[v] = gain
-	gb.prev[v] = -1
-	gb.next[v] = gb.head[i]
-	if gb.head[i] >= 0 {
-		gb.prev[gb.head[i]] = v
+	gb.slots[v] = packPair(i, int32(gain))
+	h := gb.head[i]
+	gb.links[v] = packPair(h, -1)
+	if h >= 0 {
+		gb.links[h] = packPair(unpackLo(gb.links[h]), v)
 	}
 	gb.head[i] = v
 	if int(i) > gb.maxIdx {
@@ -91,32 +117,75 @@ func (gb *GainBuckets) Add(v int32, gain int64) {
 
 // Remove deletes v. v must be present.
 func (gb *GainBuckets) Remove(v int32) {
-	i := gb.bucket[v]
+	i := unpackLo(gb.slots[v])
 	if i < 0 {
 		panic("partition: Remove of absent vertex")
 	}
-	if gb.prev[v] >= 0 {
-		gb.next[gb.prev[v]] = gb.next[v]
+	lv := gb.links[v]
+	next, prev := unpackLo(lv), unpackHi(lv)
+	if prev >= 0 {
+		gb.links[prev] = packPair(next, unpackHi(gb.links[prev]))
 	} else {
-		gb.head[i] = gb.next[v]
+		gb.head[i] = next
 	}
-	if gb.next[v] >= 0 {
-		gb.prev[gb.next[v]] = gb.prev[v]
+	if next >= 0 {
+		gb.links[next] = packPair(unpackLo(gb.links[next]), prev)
 	}
-	gb.bucket[v] = -1
+	gb.slots[v] = packPair(-1, unpackHi(gb.slots[v]))
 	gb.size--
 }
 
 // Update changes v's gain (no-op if unchanged). v must be present.
 func (gb *GainBuckets) Update(v int32, gain int64) {
-	if gb.bucket[v] < 0 {
+	s := gb.slots[v]
+	if unpackLo(s) < 0 {
 		panic("partition: Update of absent vertex")
 	}
-	if gb.gain[v] == gain {
+	if int64(unpackHi(s)) == gain {
 		return
 	}
-	gb.Remove(v)
-	gb.Add(v, gain)
+	gb.reposition(v, unpackLo(s), gain)
+}
+
+// UpdateIfPresent is Contains + Update fused into a single presence
+// lookup — the refinement inner loops call this once per neighbor of
+// every moved vertex. Ordering semantics are exactly Update's: a changed
+// gain re-inserts v at the front of its new bucket; an unchanged gain
+// leaves its position alone.
+func (gb *GainBuckets) UpdateIfPresent(v int32, gain int64) {
+	s := gb.slots[v]
+	if unpackLo(s) < 0 || int64(unpackHi(s)) == gain {
+		return
+	}
+	gb.reposition(v, unpackLo(s), gain)
+}
+
+// reposition moves the present vertex v from bucket old to the front of
+// gain's bucket: Remove followed by Add, fused so v's slot word is
+// written once and the size bookkeeping cancels out. LIFO semantics are
+// identical to the unfused sequence.
+func (gb *GainBuckets) reposition(v, old int32, gain int64) {
+	lv := gb.links[v]
+	next, prev := unpackLo(lv), unpackHi(lv)
+	if prev >= 0 {
+		gb.links[prev] = packPair(next, unpackHi(gb.links[prev]))
+	} else {
+		gb.head[old] = next
+	}
+	if next >= 0 {
+		gb.links[next] = packPair(unpackLo(gb.links[next]), prev)
+	}
+	i := gb.idx(gain)
+	gb.slots[v] = packPair(i, int32(gain))
+	h := gb.head[i]
+	gb.links[v] = packPair(h, -1)
+	if h >= 0 {
+		gb.links[h] = packPair(unpackLo(gb.links[h]), v)
+	}
+	gb.head[i] = v
+	if int(i) > gb.maxIdx {
+		gb.maxIdx = int(i)
+	}
 }
 
 // Max returns the vertex with maximum gain (LIFO within ties) and its
@@ -144,15 +213,64 @@ func (gb *GainBuckets) PopMax() (v int32, gain int64, ok bool) {
 // when fn returns false. The structure must not be mutated during the
 // walk.
 func (gb *GainBuckets) Descending(fn func(v int32, gain int64) bool) {
-	start := gb.maxIdx
-	if top := len(gb.head) - 1; start > top {
-		start = top
-	}
-	for i := start; i >= 0; i-- {
-		for v := gb.head[i]; v >= 0; v = gb.next[v] {
-			if !fn(v, int64(i)-gb.maxGain) {
-				return
-			}
+	for c := gb.Cursor(); c.Valid(); c.Next() {
+		if !fn(c.V(), c.Gain()) {
+			return
 		}
 	}
+}
+
+// Cursor is a lightweight descending-order iterator over a GainBuckets.
+// It visits exactly the sequence Descending visits, but through flat,
+// inlinable accessors instead of a callback — the KL pair scan walks two
+// of these in a nested loop, where closure dispatch per scanned pair is
+// measurable. The structure must not be mutated during the walk.
+type Cursor struct {
+	gb   *GainBuckets
+	i    int   // current bucket index
+	v    int32 // current vertex, or -1 when exhausted
+	gain int64 // gain of the current bucket
+}
+
+// Cursor returns a cursor positioned on the maximum-gain vertex (invalid
+// immediately if the structure is empty).
+func (gb *GainBuckets) Cursor() Cursor {
+	c := Cursor{gb: gb, v: -1}
+	c.i = gb.maxIdx
+	if top := len(gb.head) - 1; c.i > top {
+		c.i = top
+	}
+	for ; c.i >= 0; c.i-- {
+		if h := gb.head[c.i]; h >= 0 {
+			c.v = h
+			c.gain = int64(c.i) - gb.maxGain
+			break
+		}
+	}
+	return c
+}
+
+// Valid reports whether the cursor is on a vertex.
+func (c *Cursor) Valid() bool { return c.v >= 0 }
+
+// V returns the current vertex; the cursor must be valid.
+func (c *Cursor) V() int32 { return c.v }
+
+// Gain returns the current vertex's gain; the cursor must be valid.
+func (c *Cursor) Gain() int64 { return c.gain }
+
+// Next advances to the next vertex in non-increasing gain order.
+func (c *Cursor) Next() {
+	if next := unpackLo(c.gb.links[c.v]); next >= 0 {
+		c.v = next
+		return
+	}
+	for c.i--; c.i >= 0; c.i-- {
+		if h := c.gb.head[c.i]; h >= 0 {
+			c.v = h
+			c.gain = int64(c.i) - c.gb.maxGain
+			return
+		}
+	}
+	c.v = -1
 }

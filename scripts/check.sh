@@ -1,0 +1,42 @@
+#!/bin/sh
+# Tier-2 verification gate. Tier 1 is `go build ./... && go test ./...`;
+# this script adds vet, the race detector over the whole module, and a
+# quick machine-readable benchmark snapshot so a perf regression or a
+# reappearing steady-state allocation is visible before merge.
+#
+# Usage: scripts/check.sh [output.json]
+#   output.json  where to write the quick benchmark snapshot
+#                (default: bench-check.json in the repo root, gitignored
+#                territory — committed snapshots are BENCH_N.json,
+#                written by `go run ./cmd/bench`; see docs/PERFORMANCE.md)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-bench-check.json}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go run ./cmd/bench -quick  (snapshot -> $out)"
+go run ./cmd/bench -quick -o "$out"
+
+# The quick suite records allocs_per_op for the steady-state KL/FM
+# passes; both must be zero (the alloc regression tests enforce the
+# same bound under `go test`, this is the belt to their suspenders).
+awk '
+  /"name": ".*_pass_steady_/ { steady = 1 }
+  steady && /"allocs_per_op":/ {
+    gsub(/[^0-9]/, "", $2)
+    if ($2 + 0 != 0) { bad = 1 }
+    steady = 0
+  }
+  END { exit bad }
+' "$out" || { echo "FAIL: steady-state pass allocates (see $out)"; exit 1; }
+
+echo "OK: vet, build, race tests, and quick benchmarks all passed"
