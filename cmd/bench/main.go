@@ -139,6 +139,60 @@ func klPassSteady(g *graph.Graph) func(b *testing.B) {
 	}
 }
 
+// benchSAOpts is the reduced annealing schedule shared by every SA
+// benchmark row (and by the harness tables below): full-strength
+// schedules are minutes-per-op, which testing.Benchmark cannot time.
+func benchSAOpts() anneal.Options {
+	return anneal.Options{SizeFactor: 4, TempFactor: 0.9, FreezeLim: 3, MaxTemps: 300}
+}
+
+// saRun measures full SA runs (random start, calibration, annealing to
+// frozen, rebalance) on one shared workspace — the steady state of a
+// multi-chain campaign.
+func saRun(g *graph.Graph, opts anneal.Options) (float64, func(b *testing.B)) {
+	bis, _, err := anneal.Run(g, opts, rng.NewFib(7))
+	if err != nil {
+		panic(err)
+	}
+	return float64(bis.Cut()), func(b *testing.B) {
+		opts.Workspace = anneal.NewRefiner()
+		r := rng.NewFib(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := anneal.Run(g, opts, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// saRefineSteady measures Refine alone — calibration plus the annealing
+// trial loop — restarted from the same saved state each iteration, so
+// the per-start NewRandom allocation is out of the picture and the row
+// exposes the inner loop the way *_pass_steady_* rows do for KL/FM.
+func saRefineSteady(g *graph.Graph, opts anneal.Options) func(b *testing.B) {
+	start := partition.NewRandom(g, rng.NewFib(9))
+	sides := start.Sides()
+	if _, err := anneal.Refine(start, opts, rng.NewFib(9)); err != nil {
+		panic(err)
+	}
+	return func(b *testing.B) {
+		opts.Workspace = anneal.NewRefiner()
+		r := rng.NewFib(9)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := start.SetSides(sides); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := anneal.Refine(start, opts, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func fmPassSteady(g *graph.Graph) func(b *testing.B) {
 	ws := fm.NewRefiner()
 	bis := partition.NewRandom(g, rng.NewFib(9))
@@ -213,6 +267,22 @@ func main() {
 	add("fm_run_gnp400_d4.0", cut, fn)
 	add("kl_pass_steady_gnp400_d4.0", 0, klPassSteady(g40))
 	add("fm_pass_steady_gnp400_d4.0", 0, fmPassSteady(g40))
+
+	// The SA families: the annealing trial loop is degree-insensitive
+	// (one uniformly random vertex per trial), so one Gnp instance plus
+	// one regular planted-bisection instance covers the paper's SA rows.
+	gbreg := func() *graph.Graph {
+		g, err := gen.BReg(400, 8, 4, rng.NewFib(42))
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}()
+	cut, fn = saRun(g40, benchSAOpts())
+	add("sa_run_gnp400_d4.0", cut, fn)
+	cut, fn = saRun(gbreg, benchSAOpts())
+	add("sa_run_breg400_d4", cut, fn)
+	add("sa_refine_steady_gnp400_d4.0", 0, saRefineSteady(g40, benchSAOpts()))
 
 	for _, d := range defs {
 		fmt.Fprintf(os.Stderr, "bench %-28s ", d.name)

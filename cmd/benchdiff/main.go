@@ -1,0 +1,119 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// cmd/bench (BENCH_N.json) the way benchstat compares go test -bench
+// outputs: for every benchmark series present in both snapshots it
+// prints old and new ns/op, the delta, and the allocation columns, and
+// it exits non-zero when any shared series regressed by more than the
+// tolerance.
+//
+//	go run ./cmd/benchdiff [-tol 0.10] OLD.json NEW.json
+//
+// Two additional checks ride along because the snapshots carry them:
+//
+//   - deterministic result metrics (the "metric" field holds the cut of
+//     a fixed-seed run): any difference between snapshots is reported as
+//     a failure, since the benchmarked algorithms promise seed-stable
+//     results across performance work;
+//   - allocation regressions: a series whose allocs/op grew fails
+//     regardless of tolerance (zero-alloc steady states are part of the
+//     workspace contract, not a soft target).
+//
+// scripts/check.sh uses this to gate tier-2 on BENCH_(N-1) → BENCH_N.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchRow struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	Metric   float64 `json:"metric,omitempty"`
+}
+
+type snapshot struct {
+	Schema     string     `json:"schema"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+func load(path string) (map[string]benchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rows := make(map[string]benchRow, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		rows[b.Name] = b
+	}
+	return rows, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "maximum tolerated ns/op regression (fraction)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRows, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRows, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range oldRows {
+		if _, ok := newRows[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmark series")
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-34s %14s %14s %8s %12s\n", "name", "old ns/op", "new ns/op", "delta", "allocs o→n")
+	for _, name := range names {
+		o, n := oldRows[name], newRows[name]
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		mark := ""
+		if delta > *tol {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		if n.AllocsOp > o.AllocsOp {
+			mark += "  ALLOC-REGRESSION"
+			failed = true
+		}
+		if o.Metric != n.Metric {
+			mark += fmt.Sprintf("  RESULT-DRIFT (%g → %g)", o.Metric, n.Metric)
+			failed = true
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %+7.1f%% %6d → %-4d%s\n",
+			name, o.NsPerOp, n.NsPerOp, delta*100, o.AllocsOp, n.AllocsOp, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (tolerance %.0f%%)\n", *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (%d series within %.0f%%)\n", len(names), *tol*100)
+}

@@ -22,6 +22,7 @@ package anneal
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 
 	"repro/internal/graph"
@@ -64,6 +65,25 @@ type Options struct {
 	// smaller = slower, higher-quality cooling). Ignored for geometric
 	// cooling.
 	Delta float64
+	// DisableExpTable turns off the quantized acceptance-probability
+	// bracket (see refiner.go) and evaluates math.Exp on every uphill
+	// Metropolis trial instead. Results are identical by construction —
+	// the bracket only ever decides when it provably agrees with the
+	// exact comparison; only running time changes. Used by the SA
+	// ablation benchmarks and cross-check tests.
+	DisableExpTable bool
+	// DisableUndoLog turns off undo-log best tracking and restores the
+	// original clone-on-improvement scheme (an O(n) copy of the full
+	// bisection each time the best cost improves). Results are
+	// identical; only running time and allocation change. Used by the
+	// SA ablation benchmarks and cross-check tests.
+	DisableUndoLog bool
+	// Workspace, when non-nil, supplies the reusable run state (cached
+	// vertex weights, the undo log, the best-state buffer) so repeated
+	// runs allocate nothing. A nil Workspace makes Run/Refine allocate
+	// a private one. Workspaces are not safe for concurrent use; give
+	// each goroutine its own (see core.ParallelBestOf).
+	Workspace *Refiner
 	// Observer, when non-nil, receives move_batch, temp_done, and
 	// run_done trace events (see docs/OBSERVABILITY.md) — the
 	// temperature/acceptance-ratio decay the freezing criterion acts on.
@@ -143,6 +163,14 @@ func (s Stats) String() string {
 // parity minimum for unit weights): the best state seen during the run,
 // rebalanced with gain-aware repair moves.
 func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
+	return workspace(opts).Refine(b, opts, r)
+}
+
+// Refine is Refine using this workspace (opts.Workspace is ignored).
+// With a warm workspace the whole call — calibration, every
+// temperature, and the final best-state materialization — performs no
+// heap allocation.
+func (w *Refiner) Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 	o := opts.withDefaults()
 	g := b.Graph()
 	n := g.N()
@@ -150,23 +178,47 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 	if n == 0 {
 		return st, nil
 	}
+	w.ensure(g)
 
-	cost := func(bb *partition.Bisection) float64 {
-		d := float64(bb.SideWeight(0) - bb.SideWeight(1))
-		return float64(bb.Cut()) + o.Alpha*d*d
-	}
-	// delta returns the cost change of flipping v.
-	delta := func(v int32) float64 {
-		d := float64(b.SideWeight(0) - b.SideWeight(1))
-		w := float64(g.VertexWeight(v))
-		var nd float64
-		if b.Side(v) == 0 {
-			nd = d - 2*w
-		} else {
-			nd = d + 2*w
-		}
-		return -float64(b.Gain(v)) + o.Alpha*(nd*nd-d*d)
-	}
+	// The trial loop reads partition state through live references and
+	// maintains the side-weight difference itself, so a trial costs a
+	// few array loads instead of accessor and closure calls. The float
+	// arithmetic in deltaCost/costAt is operation-identical to the
+	// closures this replaced; nothing below may change a result.
+	// Re-slicing everything to the shared length n lets one range test
+	// on the drawn vertex discharge the bounds checks of all four
+	// indexed loads in the trial loop.
+	sides := b.SidesRef()[:n]
+	gains := b.GainsRef()[:n]
+	wf := w.wf[:n]
+	wi := w.wi[:n]
+	alpha := o.Alpha
+	sideDiff := b.SideWeight(0) - b.SideWeight(1)
+	// d and d2 shadow float64(sideDiff) and its square; they are
+	// refreshed from the exact integer whenever a move is accepted, so
+	// deltaCost never re-derives them per trial.
+	d := float64(sideDiff)
+	d2 := d * d
+	curCut := b.Cut()
+	metropolis := o.Acceptance != AcceptThreshold
+	adaptive := o.Cooling == CoolAdaptive
+	useTable := !o.DisableExpTable
+	useLog := !o.DisableUndoLog
+
+	// The loops draw words through a block-prefetching stream and
+	// open-code Intn's Lemire reduction and Float64's conversion with
+	// the exact arithmetic of the rng.Rand methods, so the word stream
+	// and every derived value are unchanged (the golden fixture pins
+	// this); the stream's deferred finish returns any prefetched,
+	// unconsumed words so later users of r see no difference either.
+	// The single rejection test `lo >= thresh` is the two-test
+	// original folded together: thresh < n, so lo < thresh is
+	// precisely the redraw condition.
+	un := uint64(n)
+	unThresh := -un % un
+	var ws wordStream
+	ws.init(r.Source(), w.words)
+	defer ws.finish()
 
 	obs := o.Observer
 	var runStart time.Time
@@ -174,11 +226,38 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 		runStart = time.Now()
 	}
 
-	temp := calibrateStartTemp(b, o, delta, r)
+	temp := w.calibrateStartTemp(b, o, &ws)
 	st.StartTemp = temp
 
-	best := b.Clone()
-	bestCost := cost(b)
+	// The trial loop manages the stream's block cursor in locals (wbuf
+	// never changes identity across refills; draw-through mode keeps it
+	// nil so every draw takes the refill path). Stores into sides/gains
+	// would otherwise force the compiler to re-load the cursor field —
+	// and re-check bounds — on every draw. ws.pos is synced back before
+	// anything else touches the stream.
+	wbuf := ws.buf
+	wpos := ws.pos
+
+	// Best-state tracking. The default scheme snapshots the sides once,
+	// then records every accepted move in the undo log; an improvement
+	// costs O(1) (remember the log position), and the snapshot is
+	// brought up to date at most once per temperature by replaying the
+	// log's prefix parity — O(accepted) per temperature, against the
+	// old scheme's O(n) full-state copy per improvement. The ablation
+	// path keeps the original clone-on-improvement scheme.
+	bestCost := costAt(curCut, d2, alpha)
+	bestCut := curCut
+	var best *partition.Bisection
+	if useLog {
+		copy(w.bestSides, sides)
+		trials := int(o.SizeFactor) * n
+		if cap(w.log) < trials {
+			w.log = make([]int32, 0, trials)
+		}
+	} else {
+		best = b.Clone()
+	}
+
 	frozen := 0
 	trialsPerTemp := int64(o.SizeFactor) * int64(n)
 
@@ -190,41 +269,154 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 		if obs != nil {
 			tempStart = time.Now()
 		}
+		// The undo log is written by index through a local slice so the
+		// hot loop never touches the workspace's slice header; capacity
+		// was pre-sized to trialsPerTemp, which bounds accepted moves.
+		log := w.log[:cap(w.log)]
+		logN := 0
+		bestMark := -1
 		// Running cost statistics for the adaptive schedule.
-		cur := cost(b)
+		cur := costAt(curCut, d2, alpha)
 		var costSum, costSumSq float64
 		for k := int64(0); k < trialsPerTemp; k++ {
-			v := int32(r.Intn(n))
-			dE := delta(v)
+			var v int32
+			for {
+				var word uint64
+				if wpos < len(wbuf) {
+					word = wbuf[wpos]
+					wpos++
+				} else {
+					ws.pos = wpos
+					word = ws.refill()
+					wpos = ws.pos
+				}
+				hi, lo := bits.Mul64(word, un)
+				if lo >= unThresh {
+					v = int32(hi)
+					break
+				}
+			}
+			vi := int(v)
+			if uint(vi) >= uint(n) {
+				// Unreachable — hi = ⌊word·n/2⁶⁴⌋ < n — but the range
+				// test is what lets the compiler drop the bounds checks
+				// on every vi-indexed load below.
+				continue
+			}
+			side := sides[vi]
+			dE := deltaCost(d, d2, side, wf[vi], gains[vi], alpha)
 			accept := dE <= 0
 			if !accept {
-				if o.Acceptance == AcceptThreshold {
-					accept = dE < temp
+				if metropolis {
+					// The bracket test, open-coded (the logic of
+					// expProbeScaled/acceptUphill) so the probe's own
+					// branches ARE the decision — a function returning a
+					// tri-state would make the caller re-branch on the
+					// same unpredictable data and double the mispredict
+					// cost. Rejection is tested first because at all but
+					// the hottest temperatures it is the common outcome.
+					// Comparing the raw 53-bit draw fw against pre-scaled
+					// edges defers u = fw/2⁵³ — exact, so free to defer —
+					// to the paths that need u itself.
+					var word uint64
+					if wpos < len(wbuf) {
+						word = wbuf[wpos]
+						wpos++
+					} else {
+						ws.pos = wpos
+						word = ws.refill()
+						wpos = ws.pos
+					}
+					fw, x := float64(word>>11), dE/temp
+					if !useTable {
+						accept = acceptUphillExact(fw/(1<<53), x)
+					} else if x < expTableMaxX {
+						i := int(x*expTableInvStep) & (expTableSize - 1)
+						if fw >= expEdgeScaled[i] {
+							// rejected: u ≥ exp(−i·δ) ≥ exp(−x)
+						} else if fw < expEdgeScaled[i+1] {
+							accept = true
+						} else {
+							accept = acceptUphillExact(fw/(1<<53), x)
+						}
+					} else if fw < expTailScaled {
+						accept = acceptUphillExact(fw/(1<<53), x)
+					}
 				} else {
-					accept = r.Float64() < math.Exp(-dE/temp)
+					accept = dE < temp
 				}
 			}
 			if accept {
-				b.Move(v)
+				if useLog {
+					// Apply the flip through the live references —
+					// partition.Move's arithmetic, minus the call and the
+					// cut/side-weight fields, which stay shadowed in
+					// curCut/sideDiff until SetSides rebuilds the
+					// bisection from the best sides at run end.
+					gv := gains[vi]
+					curCut -= gv
+					gains[vi] = -gv
+					nsv := side ^ 1
+					sides[vi] = nsv
+					for _, e := range g.Neighbors(v) {
+						d := int64(e.W) << 1
+						m := int64(sides[e.To]^nsv) - 1
+						gains[e.To] += (d ^ m) - m
+					}
+					log[logN] = v
+					logN++
+				} else {
+					// The clone-based ablation path keeps b fully valid
+					// so best.Assign(b) can snapshot it.
+					b.Move(v)
+					curCut = b.Cut()
+				}
+				// Flipping v off side s moves its weight to the other
+				// side, so the difference w(V₀)−w(V₁) shifts by 2·w(v).
+				if side == 0 {
+					sideDiff -= 2 * wi[vi]
+				} else {
+					sideDiff += 2 * wi[vi]
+				}
+				d = float64(sideDiff)
+				d2 = d * d
 				cur += dE
 				accepted++
 				if cur < bestCost {
 					// Recompute exactly to avoid float drift in the saved
 					// best (dE accumulation is exact in spirit but float).
-					if c := cost(b); c < bestCost {
+					// One evaluation serves both the comparison and the
+					// running-cost reset the adaptive schedule reads.
+					if c := costAt(curCut, d2, alpha); c < bestCost {
 						bestCost = c
-						best.Assign(b)
+						bestCut = curCut
 						improvedBest = true
+						if useLog {
+							bestMark = logN
+						} else {
+							best.Assign(b)
+						}
+						cur = c
+					} else {
+						cur = c
 					}
-					cur = cost(b)
 				}
 			}
-			costSum += cur
-			costSumSq += cur * cur
+			if adaptive {
+				// The running cost moments feed only the Aarts–van
+				// Laarhoven temperature update; geometric runs skip the
+				// bookkeeping.
+				costSum += cur
+				costSumSq += cur * cur
+			}
 			if obs != nil && (k+1)%trace.SAMoveBatchSize == 0 {
+				imb := sideDiff
+				if imb < 0 {
+					imb = -imb
+				}
 				obs.Observe(trace.Event{
 					Type: trace.TypeMoveBatch, Algo: "sa", Index: batchIdx,
-					Cut: b.Cut(), BestCut: best.Cut(), Imbalance: b.Imbalance(),
+					Cut: curCut, BestCut: bestCut, Imbalance: imb,
 					Trials: k + 1, Accepted: accepted,
 					AcceptRatio: float64(accepted) / float64(k+1), Temp: temp,
 				})
@@ -236,15 +428,29 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 		st.Accepted += accepted
 		st.FinalTemp = temp
 		if obs != nil {
+			imb := sideDiff
+			if imb < 0 {
+				imb = -imb
+			}
 			obs.Observe(trace.Event{
 				Type: trace.TypeTempDone, Algo: "sa", Index: t,
-				Cut: b.Cut(), BestCut: best.Cut(), Imbalance: b.Imbalance(),
+				Cut: curCut, BestCut: bestCut, Imbalance: imb,
 				Trials: trialsPerTemp, Accepted: accepted,
 				AcceptRatio: float64(accepted) / float64(trialsPerTemp), Temp: temp,
 				ElapsedNS: time.Since(tempStart).Nanoseconds(),
 			})
 		}
-		if o.Cooling == CoolAdaptive {
+		if useLog && bestMark >= 0 {
+			// Materialize the best state seen this temperature: start
+			// from the current sides and undo the log's tail (the moves
+			// accepted after the best). A vertex flipped twice cancels,
+			// so applying each entry's flip is exactly the tail's parity.
+			copy(w.bestSides, sides)
+			for i := logN - 1; i >= bestMark; i-- {
+				w.bestSides[log[i]] ^= 1
+			}
+		}
+		if adaptive {
 			mean := costSum / float64(trialsPerTemp)
 			variance := costSumSq/float64(trialsPerTemp) - mean*mean
 			if variance < 1e-12 {
@@ -262,8 +468,21 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 		}
 	}
 
-	// Adopt the best state seen and rebalance it exactly.
-	b.Assign(best)
+	// Hand the stream cursor back before the deferred finish rewinds the
+	// unconsumed tail.
+	ws.pos = wpos
+
+	// Adopt the best state seen and rebalance it exactly. The undo-log
+	// path only has the best sides; SetSides rebuilds gains and cut in
+	// O(m) — once per run, where the old clone scheme paid O(n) per
+	// improvement.
+	if useLog {
+		if err := b.SetSides(w.bestSides); err != nil {
+			return st, err
+		}
+	} else {
+		b.Assign(best)
+	}
 	partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
 	st.FinalCut = b.Cut()
 	if obs != nil {
@@ -274,7 +493,7 @@ func Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Stats, error) {
 		obs.Observe(trace.Event{
 			Type: trace.TypeRunDone, Algo: "sa", Index: st.Temperatures,
 			Cut: st.FinalCut, BestCut: st.FinalCut, Imbalance: b.Imbalance(),
-			Gain: st.InitialCut - st.FinalCut,
+			Gain:   st.InitialCut - st.FinalCut,
 			Trials: st.Trials, Accepted: st.Accepted,
 			AcceptRatio: ratio, Temp: st.FinalTemp,
 			ElapsedNS: time.Since(runStart).Nanoseconds(),
@@ -295,8 +514,29 @@ func Run(g *graph.Graph, opts Options, r *rng.Rand) (*partition.Bisection, Stats
 // samples uphill deltas and solves exp(−avgUp/T) = InitProb, then doubles
 // T (a few times at most) until a sampled acceptance ratio reaches the
 // target, mirroring JAMS's trial-run calibration.
-func calibrateStartTemp(b *partition.Bisection, o Options, delta func(int32) float64, r *rng.Rand) float64 {
+//
+// Calibration runs before every start — each of the N chains of a
+// parallel campaign — so it gets the same treatment as the trial loop:
+// delta sampling is pure (it never moves a vertex, so there is no state
+// to clone or restore), reads the partition through live references and
+// the workspace's cached weights, draws words through the same
+// block-prefetching stream with the same open-coded Lemire/Float64
+// arithmetic as the trial loop, and decides acceptance through the
+// bracket table. With a warm workspace it allocates nothing. The draw
+// sequence (one Intn per sample, one Float64 per uphill sample) and
+// every produced float are identical to the closure-based version.
+func (w *Refiner) calibrateStartTemp(b *partition.Bisection, o Options, ws *wordStream) float64 {
 	n := b.N()
+	sides := b.SidesRef()
+	gains := b.GainsRef()
+	wf := w.wf
+	alpha := o.Alpha
+	sideDiff := b.SideWeight(0) - b.SideWeight(1)
+	// Calibration never moves a vertex, so the hoisted d/d2 are fixed.
+	d := float64(sideDiff)
+	d2 := d * d
+	un := uint64(n)
+	unThresh := -un % un
 	samples := 64 + 4*n
 	if samples > 4096 {
 		samples = 4096
@@ -304,7 +544,19 @@ func calibrateStartTemp(b *partition.Bisection, o Options, delta func(int32) flo
 	var upSum float64
 	var upCount int
 	for i := 0; i < samples; i++ {
-		if dE := delta(int32(r.Intn(n))); dE > 0 {
+		var v int32
+		for {
+			word, ok := ws.tryNext()
+			if !ok {
+				word = ws.refill()
+			}
+			hi, lo := bits.Mul64(word, un)
+			if lo >= unThresh {
+				v = int32(hi)
+				break
+			}
+		}
+		if dE := deltaCost(d, d2, sides[v], wf[v], gains[v], alpha); dE > 0 {
 			upSum += dE
 			upCount++
 		}
@@ -317,8 +569,29 @@ func calibrateStartTemp(b *partition.Bisection, o Options, delta func(int32) flo
 	for iter := 0; iter < 30; iter++ {
 		acc := 0
 		for i := 0; i < samples; i++ {
-			dE := delta(int32(r.Intn(n)))
-			if dE <= 0 || r.Float64() < math.Exp(-dE/temp) {
+			var v int32
+			for {
+				word, ok := ws.tryNext()
+				if !ok {
+					word = ws.refill()
+				}
+				hi, lo := bits.Mul64(word, un)
+				if lo >= unThresh {
+					v = int32(hi)
+					break
+				}
+			}
+			dE := deltaCost(d, d2, sides[v], wf[v], gains[v], alpha)
+			if dE <= 0 {
+				acc++
+				continue
+			}
+			word, ok := ws.tryNext()
+			if !ok {
+				word = ws.refill()
+			}
+			u := float64(word>>11) / (1 << 53)
+			if acceptUphill(u, dE/temp, o.DisableExpTable) {
 				acc++
 			}
 		}

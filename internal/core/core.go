@@ -76,11 +76,11 @@ func WithObserver(b Bisector, obs trace.Observer) Bisector {
 }
 
 // Reusable is a Bisector whose repeated runs can share a reusable
-// refinement workspace (gain buckets, swap logs, scratch arrays) so
-// that steady-state passes allocate nothing. The algorithmic refiners
-// (KL, FM) and the composing drivers (Compacted, Multilevel, BestOf)
-// implement it; SA and the trivial baselines hold no reusable pass
-// state and do not.
+// refinement workspace (gain buckets, swap logs, undo logs, scratch
+// arrays) so that steady-state passes allocate nothing. The algorithmic
+// refiners (KL, FM, SA) and the composing drivers (Compacted,
+// Multilevel, BestOf) implement it; the trivial baselines hold no
+// reusable pass state and do not.
 type Reusable interface {
 	Bisector
 	// WithWorkspace returns a copy of the bisector owning a freshly
@@ -301,6 +301,14 @@ func (a KL) WithWorkspace() Bisector {
 // WithWorkspace implements Reusable for FM.
 func (a FM) WithWorkspace() Bisector {
 	a.Opts.Workspace = fm.NewRefiner()
+	return a
+}
+
+// WithWorkspace implements Reusable for SA: the annealing workspace
+// (cached vertex weights, undo log, best-state buffer) is reused across
+// starts, making every run after the first allocation-free.
+func (a SA) WithWorkspace() Bisector {
+	a.Opts.Workspace = anneal.NewRefiner()
 	return a
 }
 

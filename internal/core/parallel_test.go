@@ -62,6 +62,36 @@ func TestParallelBestOfDefaultsAndErrors(t *testing.T) {
 	}
 }
 
+// TestParallelSAWorkspaceDeterminism pins the parallel-chain SA path:
+// SA now implements Reusable, so ParallelBestOf hands each worker a
+// private annealing workspace. Neither the workspace nor the worker
+// count may change results — a sequential BestOf, a 1-worker pool, and
+// a many-worker pool must all return the same cut for the same seed.
+func TestParallelSAWorkspaceDeterminism(t *testing.T) {
+	g := mustGraph(gen.BReg(200, 8, 3, rng.NewFib(4)))
+	sa := SA{}
+	sa.Opts.MaxTemps = 30
+	seq, err := BestOf{Inner: sa, Starts: 4}.Bisect(g, rng.NewFib(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := ParallelBestOf{Inner: sa, Starts: 4, Workers: workers}.Bisect(g, rng.NewFib(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Cut() != seq.Cut() {
+			t.Fatalf("workers=%d: parallel SA cut %d != sequential %d", workers, par.Cut(), seq.Cut())
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := Bisector(sa).(Reusable); !ok {
+		t.Fatal("SA does not implement Reusable")
+	}
+}
+
 func TestParallelBestOfWorkersCap(t *testing.T) {
 	g := mustGraph(gen.Grid(8, 8))
 	b, err := ParallelBestOf{Inner: KL{}, Starts: 5, Workers: 2}.Bisect(g, rng.NewFib(3))

@@ -109,6 +109,38 @@ func (b *Bisection) Sides() []uint8 { return append([]uint8(nil), b.side...) }
 // avoid a per-call allocation; everyone else should prefer Sides.
 func (b *Bisection) SidesRef() []uint8 { return b.side }
 
+// GainsRef returns the live per-vertex gain array without copying. Like
+// SidesRef, the slice is owned by the bisection and updated in place by
+// every Move/Swap; callers must treat it as read-only. The annealing
+// inner loop reads a gain per trial, so the accessor-call and bounds
+// overhead of Gain(v) is worth eliding there.
+func (b *Bisection) GainsRef() []int64 { return b.gain }
+
+// SetSides overwrites the side assignment from an explicit slice
+// (entries must be 0 or 1) and rebuilds the incremental state in O(m)
+// without allocating. It is the undo-log counterpart to Assign: a
+// caller that tracked only the side array of a past state (e.g. the
+// best state seen during annealing, maintained by replaying a move log)
+// can rematerialize the full bisection — gains, cut, side weights — at
+// the end of a run instead of cloning on every improvement.
+func (b *Bisection) SetSides(side []uint8) error {
+	if len(side) != b.g.N() {
+		return fmt.Errorf("partition: SetSides with %d entries for %d vertices", len(side), b.g.N())
+	}
+	for v, s := range side {
+		if s > 1 {
+			return fmt.Errorf("partition: vertex %d assigned to side %d", v, s)
+		}
+	}
+	copy(b.side, side)
+	b.sideW = [2]int64{}
+	for v := int32(0); int(v) < b.g.N(); v++ {
+		b.sideW[b.side[v]] += int64(b.g.VertexWeight(v))
+	}
+	b.recomputeGainsAndCut()
+	return nil
+}
+
 // Cut returns the weighted cut.
 func (b *Bisection) Cut() int64 { return b.cut }
 

@@ -313,3 +313,66 @@ func BenchmarkNewRandom(b *testing.B) {
 		NewRandom(g, r)
 	}
 }
+
+func TestSetSidesMatchesNew(t *testing.T) {
+	r := rng.NewFib(23)
+	g, err := gen.GNP(60, 0.15, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewRandom(g, r)
+	// Scramble b with random moves, then reset it to an unrelated
+	// assignment via SetSides; every cached field must match a freshly
+	// built bisection of that assignment.
+	for i := 0; i < 40; i++ {
+		b.Move(int32(r.Intn(g.N())))
+	}
+	want := NewRandom(g, r)
+	if err := b.SetSides(want.SidesRef()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cut() != want.Cut() {
+		t.Fatalf("SetSides cut %d, want %d", b.Cut(), want.Cut())
+	}
+	if b.SideWeight(0) != want.SideWeight(0) || b.SideWeight(1) != want.SideWeight(1) {
+		t.Fatalf("SetSides side weights %d/%d, want %d/%d",
+			b.SideWeight(0), b.SideWeight(1), want.SideWeight(0), want.SideWeight(1))
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if b.Side(v) != want.Side(v) || b.Gain(v) != want.Gain(v) {
+			t.Fatalf("SetSides vertex %d: side %d gain %d, want side %d gain %d",
+				v, b.Side(v), b.Gain(v), want.Side(v), want.Gain(v))
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetSidesRejectsBadInput(t *testing.T) {
+	g := mustGraph(gen.Path(4))
+	b := NewRandom(g, rng.NewFib(1))
+	if err := b.SetSides([]uint8{0, 1}); err == nil {
+		t.Fatal("short slice accepted")
+	}
+	if err := b.SetSides([]uint8{0, 1, 2, 0}); err == nil {
+		t.Fatal("side 2 accepted")
+	}
+}
+
+func TestGainsRefIsLive(t *testing.T) {
+	g := mustGraph(gen.Path(4))
+	b := NewRandom(g, rng.NewFib(3))
+	gains := b.GainsRef()
+	for v := int32(0); int(v) < g.N(); v++ {
+		if gains[v] != b.Gain(v) {
+			t.Fatalf("GainsRef[%d] = %d, want %d", v, gains[v], b.Gain(v))
+		}
+	}
+	b.Move(0)
+	for v := int32(0); int(v) < g.N(); v++ {
+		if gains[v] != b.Gain(v) {
+			t.Fatalf("after Move, GainsRef[%d] = %d, want %d", v, gains[v], b.Gain(v))
+		}
+	}
+}

@@ -292,3 +292,108 @@ func BenchmarkRandIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+// plainSource hides Fibonacci's Fill so a Rand built over it cannot use
+// the bulk path anywhere.
+type plainSource struct{ f *Fibonacci }
+
+func (p plainSource) Uint64() uint64 { return p.f.Uint64() }
+
+// TestFillerStreamIdentical is the contract the repository's determinism
+// rests on: a Rand over a Filler source delivers exactly the word stream
+// of a Rand over the same source with the bulk path hidden, across every
+// derived draw.
+func TestFillerStreamIdentical(t *testing.T) {
+	buffered := NewFib(99)
+	plain := New(plainSource{NewFibonacci(99)})
+	for i := 0; i < 3000; i++ {
+		switch i % 5 {
+		case 0:
+			if a, b := buffered.Uint64(), plain.Uint64(); a != b {
+				t.Fatalf("step %d: Uint64 %d != %d", i, a, b)
+			}
+		case 1:
+			if a, b := buffered.Intn(17), plain.Intn(17); a != b {
+				t.Fatalf("step %d: Intn %d != %d", i, a, b)
+			}
+		case 2:
+			if a, b := buffered.Float64(), plain.Float64(); a != b {
+				t.Fatalf("step %d: Float64 %v != %v", i, a, b)
+			}
+		case 3:
+			if a, b := buffered.Bool(), plain.Bool(); a != b {
+				t.Fatalf("step %d: Bool %v != %v", i, a, b)
+			}
+		case 4:
+			a, b := buffered.Split(), plain.Split()
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("step %d: Split streams diverged", i)
+			}
+		}
+	}
+}
+
+// TestFibonacciFillMatchesUint64 pins Fill's block generation to the
+// scalar sequence, including across block boundaries and odd lengths.
+func TestFibonacciFillMatchesUint64(t *testing.T) {
+	scalar := NewFibonacci(7)
+	block := NewFibonacci(7)
+	for _, size := range []int{1, 3, 55, 64, 7, 100, 2} {
+		dst := make([]uint64, size)
+		block.Fill(dst)
+		for k, v := range dst {
+			if want := scalar.Uint64(); v != want {
+				t.Fatalf("Fill block size %d, word %d: got %d want %d", size, k, v, want)
+			}
+		}
+	}
+}
+
+// TestFibonacciUnread pins the rewind contract: after Unread(k), the
+// generator replays exactly the last k words and then continues the
+// original sequence, for rewinds spanning several 55-word state wraps.
+func TestFibonacciUnread(t *testing.T) {
+	f := NewFibonacci(13)
+	ref := NewFibonacci(13)
+	want := make([]uint64, 1000)
+	for i := range want {
+		want[i] = ref.Uint64()
+	}
+	pos := 0
+	advance := func(n int) {
+		for i := 0; i < n; i++ {
+			if got := f.Uint64(); got != want[pos] {
+				t.Fatalf("word %d: got %d want %d", pos, got, want[pos])
+			}
+			pos++
+		}
+	}
+	advance(300)
+	for _, k := range []int{1, 7, 55, 56, 123, 299, 0} {
+		f.Unread(k)
+		pos -= k
+		advance(k + 10)
+	}
+}
+
+// TestRandFillDrainsBuffer checks Fill after partial scalar consumption:
+// the buffered words come first, then fresh ones, with nothing skipped.
+func TestRandFillMatchesScalar(t *testing.T) {
+	a := NewFib(31)
+	b := NewFib(31)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+		b.Uint64()
+	}
+	got := make([]uint64, 150)
+	a.Fill(got)
+	for k := range got {
+		if want := b.Uint64(); got[k] != want {
+			t.Fatalf("Fill word %d: got %d want %d", k, got[k], want)
+		}
+	}
+	// And the streams stay aligned afterwards.
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("streams diverged after Fill")
+	}
+}

@@ -4,15 +4,21 @@
 # quick machine-readable benchmark snapshot so a perf regression or a
 # reappearing steady-state allocation is visible before merge.
 #
-# Usage: scripts/check.sh [output.json]
-#   output.json  where to write the quick benchmark snapshot
-#                (default: bench-check.json in the repo root, gitignored
-#                territory — committed snapshots are BENCH_N.json,
-#                written by `go run ./cmd/bench`; see docs/PERFORMANCE.md)
+# Usage: scripts/check.sh [output.json] [baseline.json]
+#   output.json    where to write the quick benchmark snapshot
+#                  (default: bench-check.json in the repo root, gitignored
+#                  territory — committed snapshots are BENCH_N.json,
+#                  written by `go run ./cmd/bench`; see docs/PERFORMANCE.md)
+#   baseline.json  optional committed snapshot (e.g. BENCH_2.json) to diff
+#                  the fresh snapshot against with cmd/benchdiff; the gate
+#                  fails on >10% regression in any recorded series. Compare
+#                  against a baseline measured on the same machine — the
+#                  committed snapshots record their environment in "notes".
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-bench-check.json}"
+baseline="${2:-}"
 
 echo "==> go vet ./..."
 go vet ./...
@@ -23,20 +29,32 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# The parallel-chain SA path (N goroutines annealing over per-chain
+# workspaces) gets extra race-detector exercise beyond the single pass
+# the full run gives it: repeated runs vary goroutine interleavings.
+echo "==> go test -race -count=3 -run 'TestParallel.*SA|TestParallelBestOf' ./internal/core/"
+go test -race -count=3 -run 'TestParallel.*SA|TestParallelBestOf' ./internal/core/
+
 echo "==> go run ./cmd/bench -quick  (snapshot -> $out)"
 go run ./cmd/bench -quick -o "$out"
 
-# The quick suite records allocs_per_op for the steady-state KL/FM
-# passes; both must be zero (the alloc regression tests enforce the
-# same bound under `go test`, this is the belt to their suspenders).
+# The quick suite records allocs_per_op for every steady-state row —
+# the KL/FM passes and the SA refine loop; all must be zero (the alloc
+# regression tests enforce the same bound under `go test`, this is the
+# belt to their suspenders).
 awk '
-  /"name": ".*_pass_steady_/ { steady = 1 }
+  /"name": ".*_steady_/ { steady = 1 }
   steady && /"allocs_per_op":/ {
     gsub(/[^0-9]/, "", $2)
     if ($2 + 0 != 0) { bad = 1 }
     steady = 0
   }
   END { exit bad }
-' "$out" || { echo "FAIL: steady-state pass allocates (see $out)"; exit 1; }
+' "$out" || { echo "FAIL: steady-state benchmark allocates (see $out)"; exit 1; }
+
+if [ -n "$baseline" ]; then
+  echo "==> go run ./cmd/benchdiff $baseline $out"
+  go run ./cmd/benchdiff "$baseline" "$out"
+fi
 
 echo "OK: vet, build, race tests, and quick benchmarks all passed"
