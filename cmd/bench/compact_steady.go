@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/coarsen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// addExtraRows registers benchmark rows that only exist in trees with
+// the coarsen.Workspace arena API. The baseline capture replaces this
+// file with a no-op stub so the shared rows keep identical names and
+// RNG streams across the two builds; cmd/benchdiff reports these rows
+// as added rather than comparing them.
+func addExtraRows(add func(name string, metric float64, fn func(b *testing.B)), g *graph.Graph) {
+	add("compact_cycle_steady_breg400_d4", 0, compactCycleSteady(g))
+}
+
+// compactCycleSteady measures one full warm compaction cycle — match,
+// contract, seed a coarse bisection, project, rebalance — on a reused
+// arena. This is the per-start cost a compacted multi-start campaign
+// pays after warm-up; the _steady_ name marks it for the zero-alloc
+// gate in scripts/check.sh.
+func compactCycleSteady(g *graph.Graph) func(b *testing.B) {
+	return func(b *testing.B) {
+		w := coarsen.NewWorkspace()
+		r := rng.NewFib(7)
+		side := make([]uint8, g.N())
+		var coarseBis partition.Bisection
+		// Warm the reusable coarse bisection against the fine graph,
+		// whose size bounds every coarse graph's.
+		if err := coarseBis.Reset(g, side); err != nil {
+			b.Fatal(err)
+		}
+		minImb := partition.MinAchievableImbalance(g.TotalVertexWeight())
+		cycle := func() {
+			w.Reset()
+			mate := w.RandomMaximal(g, r)
+			c, err := w.Contract(g, mate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cn := c.Coarse.N()
+			cs := side[:cn]
+			for i := range cs {
+				cs[i] = uint8(i & 1)
+			}
+			if err := coarseBis.Reset(c.Coarse, cs); err != nil {
+				b.Fatal(err)
+			}
+			fine, err := w.Project(c, &coarseBis)
+			if err != nil {
+				b.Fatal(err)
+			}
+			partition.RepairBalance(fine, minImb)
+		}
+		cycle() // warm the arena once before measuring
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle()
+		}
+	}
+}

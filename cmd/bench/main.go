@@ -24,6 +24,8 @@ import (
 	"testing"
 
 	"repro/internal/anneal"
+	"repro/internal/coarsen"
+	"repro/internal/core"
 	"repro/internal/fm"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -210,6 +212,70 @@ func fmPassSteady(g *graph.Graph) func(b *testing.B) {
 	}
 }
 
+// genRow measures a generator end to end (RNG to validated graph); the
+// metric is the edge count of the fixed-seed build, which pins the
+// generated graph itself across snapshots.
+func genRow(build func() (*graph.Graph, error)) (float64, func(b *testing.B)) {
+	g, err := build()
+	if err != nil {
+		panic(err)
+	}
+	metric := float64(g.M())
+	return metric, func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// compactOnceRow measures one full compaction level through the public
+// entry point — matching, contraction, random coarse bisection,
+// projection, repair — the unit the compacted algorithms pay per start.
+func compactOnceRow(g *graph.Graph) (float64, func(b *testing.B)) {
+	initial := func(cg *graph.Graph, r *rng.Rand) *partition.Bisection {
+		return partition.NewRandom(cg, r)
+	}
+	bis, err := coarsen.CompactOnce(g, nil, initial, nil, rng.NewFib(7), nil)
+	if err != nil {
+		panic(err)
+	}
+	return float64(bis.Cut()), func(b *testing.B) {
+		r := rng.NewFib(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := coarsen.CompactOnce(g, nil, initial, nil, r, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// bisectorRun measures full composed-algorithm runs (CKL, CSA, MLKL)
+// through the core registry with a per-campaign workspace — the steady
+// state the harness and the parallel drivers run in.
+func bisectorRun(alg core.Bisector, g *graph.Graph) (float64, func(b *testing.B)) {
+	bis, err := core.WithWorkspace(alg).Bisect(g, rng.NewFib(7))
+	if err != nil {
+		panic(err)
+	}
+	return float64(bis.Cut()), func(b *testing.B) {
+		a := core.WithWorkspace(alg)
+		r := rng.NewFib(7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Bisect(g, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func tableCuts(t harness.Table) TableCuts {
 	cfg := harness.Config{
 		Seed: 1989, Starts: 2,
@@ -283,6 +349,48 @@ func main() {
 	cut, fn = saRun(gbreg, benchSAOpts())
 	add("sa_run_breg400_d4", cut, fn)
 	add("sa_refine_steady_gnp400_d4.0", 0, saRefineSteady(g40, benchSAOpts()))
+
+	// Generator rows: RNG to validated graph, pinned by edge count. These
+	// time the construction fast path itself (degree-prepass CSR layout
+	// versus builder sort-and-merge).
+	m, fn := genRow(func() (*graph.Graph, error) {
+		return gen.GNP(400, 4.0/399.0, rng.NewFib(42))
+	})
+	add("gen_gnp400_d4.0", m, fn)
+	m, fn = genRow(func() (*graph.Graph, error) {
+		return gen.BReg(400, 8, 4, rng.NewFib(42))
+	})
+	add("gen_breg400_d4", m, fn)
+	p2set, err := gen.TwoSetForAvgDegree(400, 4.0, 16)
+	if err != nil {
+		panic(err)
+	}
+	m, fn = genRow(func() (*graph.Graph, error) {
+		return gen.TwoSet(400, p2set, p2set, 16, rng.NewFib(42))
+	})
+	add("gen_2set400_d4", m, fn)
+
+	// Compaction rows: the paper's Section V pipeline, from the single
+	// compaction level the CKL/CSA algorithms pay per start up to the
+	// composed algorithms themselves.
+	cut, fn = compactOnceRow(g25)
+	add("compact_once_gnp400_d2.5", cut, fn)
+	cut, fn = compactOnceRow(gbreg)
+	add("compact_once_breg400_d4", cut, fn)
+	cut, fn = bisectorRun(core.Compacted{Inner: core.KL{}}, g25)
+	add("ckl_run_gnp400_d2.5", cut, fn)
+	cut, fn = bisectorRun(core.Compacted{Inner: core.KL{}}, g40)
+	add("ckl_run_gnp400_d4.0", cut, fn)
+	cut, fn = bisectorRun(core.Compacted{Inner: core.SA{Opts: benchSAOpts()}}, g40)
+	add("csa_run_gnp400_d4.0", cut, fn)
+	cut, fn = bisectorRun(core.Compacted{Inner: core.SA{Opts: benchSAOpts()}}, gbreg)
+	add("csa_run_breg400_d4", cut, fn)
+	cut, fn = bisectorRun(core.Multilevel{Inner: core.KL{}}, g40)
+	add("mlkl_run_gnp400_d4.0", cut, fn)
+
+	// Rows that exist only in trees with the workspace arena API (the
+	// baseline build stubs this out so snapshots stay comparable).
+	addExtraRows(add, gbreg)
 
 	for _, d := range defs {
 		fmt.Fprintf(os.Stderr, "bench %-28s ", d.name)

@@ -17,6 +17,11 @@
 //     regardless of tolerance (zero-alloc steady states are part of the
 //     workspace contract, not a soft target).
 //
+// Series present in only one snapshot are listed as ADDED or REMOVED
+// and excluded from the pass/fail decision — the suite grows over time
+// and new rows must not read as regressions. Only an empty intersection
+// is an error.
+//
 // scripts/check.sh uses this to gate tier-2 on BENCH_(N-1) → BENCH_N.
 package main
 
@@ -75,13 +80,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	var names []string
+	var names, added, removed []string
 	for name := range oldRows {
 		if _, ok := newRows[name]; ok {
 			names = append(names, name)
+		} else {
+			removed = append(removed, name)
+		}
+	}
+	for name := range newRows {
+		if _, ok := oldRows[name]; !ok {
+			added = append(added, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(added)
+	sort.Strings(removed)
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmark series")
 		os.Exit(2)
@@ -111,9 +125,21 @@ func main() {
 		fmt.Printf("%-34s %14.0f %14.0f %+7.1f%% %6d → %-4d%s\n",
 			name, o.NsPerOp, n.NsPerOp, delta*100, o.AllocsOp, n.AllocsOp, mark)
 	}
+	// Series present in only one snapshot are informational: a growing
+	// suite adds rows every few PRs, and that must not read as a
+	// regression. They are excluded from the pass/fail decision.
+	for _, name := range added {
+		n := newRows[name]
+		fmt.Printf("%-34s %14s %14.0f %8s %6s → %-4d  ADDED\n", name, "-", n.NsPerOp, "-", "-", n.AllocsOp)
+	}
+	for _, name := range removed {
+		o := oldRows[name]
+		fmt.Printf("%-34s %14.0f %14s %8s %6d → %-4s  REMOVED\n", name, o.NsPerOp, "-", "-", o.AllocsOp, "-")
+	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (tolerance %.0f%%)\n", *tol*100)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: OK (%d series within %.0f%%)\n", len(names), *tol*100)
+	fmt.Printf("benchdiff: OK (%d series within %.0f%%, %d added, %d removed)\n",
+		len(names), *tol*100, len(added), len(removed))
 }

@@ -9,13 +9,25 @@
 // weight balance on the coarse graph is vertex-count balance on the fine
 // graph. These two invariants are what make compaction sound, and both
 // are checked by the test suite.
+//
+// Contraction runs on a direct fine-CSR → coarse-CSR kernel (see
+// Workspace in workspace.go): coarse ids are assigned in one sweep,
+// coarse rows are written left-to-right into a flat half-edge buffer
+// with parallel edges folded through an epoch-stamped position map, and
+// the coarse graph adopts the buffers via graph.ResetCSR — no
+// graph.Builder, no per-edge allocations. A persistent Workspace reuses
+// every buffer across levels and runs; the package-level functions
+// create an ephemeral one per call, so their results are independently
+// owned. Both produce byte-identical graphs to the original
+// Builder-based path, which remains available behind the
+// DisableDirectCSR ablation flag and is pinned by the golden fixture in
+// testdata.
 package coarsen
 
 import (
 	"fmt"
 
 	"repro/internal/graph"
-	"repro/internal/matching"
 	"repro/internal/partition"
 )
 
@@ -26,9 +38,21 @@ type Contraction struct {
 	Coarse *graph.Graph
 	// Map[v] is the coarse vertex containing fine vertex v.
 	Map []int32
-	// Members[c] lists the one or two fine vertices merged into coarse
-	// vertex c.
-	Members [][]int32
+	// members packs the fine vertices merged into each coarse vertex,
+	// two slots per coarse id (a matching contracts at most pairs);
+	// slot 2c+1 is −1 for an uncontracted singleton.
+	members []int32
+	// owner is the workspace level whose buffers back this contraction,
+	// nil when the contraction was produced by the package-level
+	// Contract and owns its storage outright.
+	owner *level
+}
+
+// Members returns the fine vertices merged into coarse vertex cv: the
+// smaller-id member first, and −1 as the second when cv is an
+// uncontracted singleton.
+func (c *Contraction) Members(cv int32) (a, b int32) {
+	return c.members[2*cv], c.members[2*cv+1]
 }
 
 // Contract builds the coarse graph obtained by coalescing each matched
@@ -36,55 +60,19 @@ type Contraction struct {
 // form a valid matching of g (checked). Edges that become internal to a
 // coarse vertex (the matched edges themselves) disappear; parallel edges
 // merge by weight summation; vertex weights add.
+//
+// The returned contraction owns fresh storage. Campaigns that contract
+// repeatedly should hold a Workspace and call its Contract method,
+// which reuses one set of buffers across calls.
 func Contract(g *graph.Graph, mate []int32) (*Contraction, error) {
-	if err := matching.Validate(g, mate); err != nil {
-		return nil, err
-	}
-	n := g.N()
-	c := &Contraction{Fine: g, Map: make([]int32, n)}
-	// Assign coarse ids: matched pairs get one id (at the smaller
-	// endpoint's turn), singletons their own.
-	next := int32(0)
-	for v := 0; v < n; v++ {
-		m := mate[v]
-		if m >= 0 && m < int32(v) {
-			c.Map[v] = c.Map[m]
-			c.Members[c.Map[m]] = append(c.Members[c.Map[m]], int32(v))
-			continue
-		}
-		c.Map[v] = next
-		c.Members = append(c.Members, []int32{int32(v)})
-		next++
-	}
-	b := graph.NewBuilder(int(next))
-	for cv := int32(0); cv < next; cv++ {
-		var w int64
-		for _, fv := range c.Members[cv] {
-			w += int64(g.VertexWeight(fv))
-		}
-		if w > 1<<30 {
-			return nil, fmt.Errorf("coarsen: merged vertex weight %d overflows", w)
-		}
-		b.SetVertexWeight(cv, int32(w))
-	}
-	g.Edges(func(u, v, w int32) {
-		cu, cv := c.Map[u], c.Map[v]
-		if cu != cv {
-			b.AddWeightedEdge(cu, cv, w)
-		}
-	})
-	coarse, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	c.Coarse = coarse
-	return c, nil
+	return NewWorkspace().Contract(g, mate)
 }
 
 // Project lifts a bisection of the coarse graph to the fine graph: every
 // fine vertex inherits the side of its coarse vertex. The weighted cut is
 // preserved exactly. The fine bisection's weight imbalance equals the
-// coarse one's.
+// coarse one's. The result is freshly allocated and caller-owned; the
+// Workspace Project method is the buffer-reusing counterpart.
 func (c *Contraction) Project(coarse *partition.Bisection) (*partition.Bisection, error) {
 	if coarse.Graph() != c.Coarse {
 		return nil, fmt.Errorf("coarsen: Project called with a bisection of a different graph")

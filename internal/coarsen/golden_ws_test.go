@@ -1,0 +1,62 @@
+package coarsen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// workspacePipeline routes the golden stages through an explicit
+// workspace, exercising the direct-CSR kernel (or, with
+// DisableDirectCSR, the retained Builder path) and the arena's buffer
+// reuse.
+func workspacePipeline(w *Workspace) goldenPipeline {
+	return goldenPipeline{
+		contract: func(g *graph.Graph, mate []int32) (*Contraction, error) {
+			w.Reset()
+			return w.Contract(g, mate)
+		},
+		compactOnce: func(g *graph.Graph, initial InitialFunc, r *rng.Rand, obs trace.Observer) (*partition.Bisection, error) {
+			return w.CompactOnce(g, nil, initial, nil, r, obs)
+		},
+		multilevel: func(g *graph.Graph, initial InitialFunc, r *rng.Rand, obs trace.Observer) (*partition.Bisection, error) {
+			return Multilevel(g, &MultilevelOptions{Observer: obs, Workspace: w}, initial, nil, r)
+		},
+	}
+}
+
+// TestGoldenCompactionVariants holds every execution mode to the same
+// fixture the package-level entry points are pinned to: a shared
+// workspace reused across all cases and rounds (the multi-start steady
+// state), and the DisableDirectCSR ablation that routes contraction
+// through the original graph.Builder path. Matching records prove the
+// kernel, the arena, and the Builder path are interchangeable bit for
+// bit.
+func TestGoldenCompactionVariants(t *testing.T) {
+	want := readGoldenFixture(t, filepath.Join("testdata", "compact_golden.json"))
+	variants := []struct {
+		name string
+		ws   *Workspace
+	}{
+		{name: "workspace_reuse", ws: NewWorkspace()},
+		{name: "via_builder", ws: &Workspace{DisableDirectCSR: true}},
+	}
+	for _, v := range variants {
+		p := workspacePipeline(v.ws)
+		for round := 0; round < 2; round++ {
+			for i, c := range goldenCases() {
+				got, err := runGoldenCase(c, p)
+				if err != nil {
+					t.Fatalf("%s [%s round %d]: %v", c.Name, v.name, round, err)
+				}
+				if got != want[i] {
+					t.Errorf("%s [%s round %d]:\n got %+v\nwant %+v", c.Name, v.name, round, got, want[i])
+				}
+			}
+		}
+	}
+}

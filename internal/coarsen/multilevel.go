@@ -37,6 +37,14 @@ type MultilevelOptions struct {
 	// coarsening contraction, the coarsest solve, and every uncoarsening
 	// projection (see docs/OBSERVABILITY.md); nil costs nothing.
 	Observer trace.Observer
+	// Workspace, when non-nil, supplies the reusable compaction arena:
+	// matchings (when Match is left nil), contractions, level graphs, and
+	// interior projections all run in its buffers, so repeated Multilevel
+	// runs reach a zero-allocation steady state for everything but the
+	// returned bisection. Results are identical with or without one. The
+	// workspace must not be shared across goroutines; nil allocates an
+	// ephemeral arena per run.
+	Workspace *Workspace
 }
 
 func (o *MultilevelOptions) withDefaults() MultilevelOptions {
@@ -53,8 +61,14 @@ func (o *MultilevelOptions) withDefaults() MultilevelOptions {
 	if o.MinRatio > 0 {
 		out.MinRatio = o.MinRatio
 	}
+	out.Workspace = o.Workspace
 	if o.Match != nil {
 		out.Match = o.Match
+	} else if out.Workspace != nil {
+		// Default to the workspace matching so the arena covers the match
+		// phase too; the stream (and thus every result) is identical to
+		// matching.RandomMaximal.
+		out.Match = out.Workspace.RandomMaximal
 	}
 	out.Observer = o.Observer
 	return out
@@ -71,71 +85,11 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 	if initial == nil {
 		return nil, fmt.Errorf("coarsen: Multilevel needs an initial bisector")
 	}
-
-	// Coarsening phase.
-	var levels []*Contraction
-	cur := g
-	for len(levels) < o.MaxLevels && cur.N() > o.MinSize {
-		mate := o.Match(cur, r)
-		if matching.Size(mate) == 0 {
-			break
-		}
-		c, err := Contract(cur, mate)
-		if err != nil {
-			return nil, err
-		}
-		if c.Ratio() > o.MinRatio {
-			break
-		}
-		levels = append(levels, c)
-		cur = c.Coarse
-		if o.Observer != nil {
-			o.Observer.Observe(trace.Event{
-				Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "coarsen",
-				Index: len(levels) - 1, Vertices: cur.N(), Edges: cur.M(),
-			})
-		}
+	w := o.Workspace
+	if w == nil {
+		w = NewWorkspace()
 	}
-
-	// Coarsest solution.
-	b := initial(cur, r)
-	if b == nil || b.Graph() != cur {
-		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
-	}
-	minImb := partition.MinAchievableImbalance(cur.TotalVertexWeight())
-	partition.RepairBalance(b, minImb)
-	if refine != nil {
-		refine(b, r)
-	}
-	if o.Observer != nil {
-		o.Observer.Observe(trace.Event{
-			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "initial",
-			Index: len(levels), Cut: b.Cut(), BestCut: b.Cut(),
-			Imbalance: b.Imbalance(), Vertices: cur.N(), Edges: cur.M(),
-		})
-	}
-
-	// Uncoarsening phase.
-	for i := len(levels) - 1; i >= 0; i-- {
-		c := levels[i]
-		fine, err := c.Project(b)
-		if err != nil {
-			return nil, err
-		}
-		b = fine
-		partition.RepairBalance(b, partition.MinAchievableImbalance(b.Graph().TotalVertexWeight()))
-		if refine != nil {
-			refine(b, r)
-		}
-		if o.Observer != nil {
-			o.Observer.Observe(trace.Event{
-				Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "uncoarsen",
-				Index: i, Cut: b.Cut(), BestCut: b.Cut(),
-				Imbalance: b.Imbalance(), Vertices: b.Graph().N(), Edges: b.Graph().M(),
-			})
-		}
-	}
-	return b, nil
+	return w.multilevel(g, o, initial, refine, r)
 }
 
 // CompactOnce performs exactly one level of the paper's compaction: match,
@@ -147,51 +101,5 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 // an "uncoarsen" level_done after the projection back to g; nil skips all
 // tracing work.
 func CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine RefineFunc, r *rng.Rand, obs trace.Observer) (*partition.Bisection, error) {
-	if match == nil {
-		match = matching.RandomMaximal
-	}
-	if initial == nil {
-		return nil, fmt.Errorf("coarsen: CompactOnce needs an initial bisector")
-	}
-	mate := match(g, r)
-	if matching.Size(mate) == 0 {
-		// Nothing to contract (edgeless graph): solve directly.
-		b := initial(g, r)
-		if b == nil || b.Graph() != g {
-			return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
-		}
-		partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
-		return b, nil
-	}
-	c, err := Contract(g, mate)
-	if err != nil {
-		return nil, err
-	}
-	if obs != nil {
-		obs.Observe(trace.Event{
-			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "coarsen",
-			Index: 0, Vertices: c.Coarse.N(), Edges: c.Coarse.M(),
-		})
-	}
-	cb := initial(c.Coarse, r)
-	if cb == nil || cb.Graph() != c.Coarse {
-		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
-	}
-	partition.RepairBalance(cb, partition.MinAchievableImbalance(c.Coarse.TotalVertexWeight()))
-	if refine != nil {
-		refine(cb, r)
-	}
-	fine, err := c.Project(cb)
-	if err != nil {
-		return nil, err
-	}
-	partition.RepairBalance(fine, partition.MinAchievableImbalance(g.TotalVertexWeight()))
-	if obs != nil {
-		obs.Observe(trace.Event{
-			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "uncoarsen",
-			Index: 0, Cut: fine.Cut(), BestCut: fine.Cut(),
-			Imbalance: fine.Imbalance(), Vertices: g.N(), Edges: g.M(),
-		})
-	}
-	return fine, nil
+	return NewWorkspace().CompactOnce(g, match, initial, refine, r, obs)
 }

@@ -1,0 +1,459 @@
+package coarsen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Workspace is the compaction arena: it owns the matching scratch, one
+// buffer set per coarsening level (coarse-id map, member pairs, coarse
+// CSR arrays, the epoch-stamped fold map, a reusable projection
+// bisection), and the projection side buffer — everything the
+// match → contract → project pipeline touches — so a warm workspace
+// compacts with zero steady-state heap allocations. Buffers are sized
+// by the fine graph's dimensions (every coarse quantity is bounded by
+// its fine counterpart), which makes the steady state deterministic
+// even though the coarse vertex count varies run to run with the random
+// matching.
+//
+// Results are identical with and without a workspace: the workspace
+// matching consumes the same random stream as matching.RandomMaximal,
+// and the contraction kernel reproduces the Builder-based contraction
+// byte for byte (the golden fixture pins both). A Workspace must not be
+// shared across goroutines; core.WithWorkspace and ParallelBestOf
+// create one per worker.
+type Workspace struct {
+	// DisableDirectCSR routes contraction through the original
+	// graph.Builder path instead of the direct fine-CSR → coarse-CSR
+	// kernel. Ablation flag in the spirit of kl's DisableScratch and
+	// anneal's DisableExpTable: results are identical either way, only
+	// the time and allocation profiles differ.
+	DisableDirectCSR bool
+
+	match  matching.Workspace
+	levels []*level
+	depth  int
+	side   []uint8 // projection scratch, sized to the largest fine graph seen
+}
+
+// level owns the buffers of one coarsening level. The slots live in a
+// stack that Reset rewinds and Contract pushes, so a multilevel run
+// reuses the same slots in the same order every time.
+type level struct {
+	con     Contraction
+	g       graph.Graph  // coarse graph storage; con.Coarse == &g on the kernel path
+	off     []int32      // coarse CSR offsets
+	edges   []graph.Edge // coarse half-edges
+	vw      []int32      // coarse vertex weights
+	pos     []int32      // per-coarse-vertex write position within the current row
+	stamp   []uint32     // epoch stamps validating pos entries
+	epoch   uint32
+	fineBis partition.Bisection // reusable projection target for interior levels
+}
+
+// NewWorkspace returns an empty Workspace; buffers are sized lazily on
+// first use and grown as needed, so one workspace serves graphs of any
+// size.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset rewinds the level stack so the next Contract reuses the first
+// slot. Buffers are retained; graphs and contractions produced before
+// the Reset are invalidated by the subsequent reuse.
+func (w *Workspace) Reset() { w.depth = 0 }
+
+// RandomMaximal runs matching.RandomMaximal on the workspace's matching
+// scratch: same stream, same result, zero steady-state allocations. The
+// returned mate array is valid until the workspace's next matching. The
+// method value satisfies MatchFunc.
+func (w *Workspace) RandomMaximal(g *graph.Graph, r *rng.Rand) []int32 {
+	return w.match.RandomMaximal(g, r)
+}
+
+// HeavyEdge runs matching.HeavyEdge on the workspace's matching
+// scratch; see RandomMaximal.
+func (w *Workspace) HeavyEdge(g *graph.Graph, r *rng.Rand) []int32 {
+	return w.match.HeavyEdge(g, r)
+}
+
+// Contract is the workspace counterpart of the package-level Contract:
+// same validation, same coarse graph, but every output — the
+// contraction record, its map and member arrays, and the coarse graph's
+// CSR — lives in workspace buffers that the next Reset/Contract cycle
+// reuses. The returned contraction is valid until this level slot is
+// reused.
+func (w *Workspace) Contract(g *graph.Graph, mate []int32) (*Contraction, error) {
+	if err := matching.Validate(g, mate); err != nil {
+		return nil, err
+	}
+	lv := w.pushLevel()
+	if err := contractInto(lv, g, mate, w.DisableDirectCSR); err != nil {
+		w.depth--
+		return nil, err
+	}
+	return &lv.con, nil
+}
+
+func (w *Workspace) pushLevel() *level {
+	if w.depth == len(w.levels) {
+		w.levels = append(w.levels, &level{})
+	}
+	lv := w.levels[w.depth]
+	lv.con.owner = lv
+	w.depth++
+	return lv
+}
+
+// contractInto runs the contraction into lv's buffers: coarse-id
+// assignment, member pairs, summed vertex weights, then the coarse
+// adjacency — directly in CSR via the kernel, or through graph.Builder
+// when the ablation flag asks for the original path.
+func contractInto(lv *level, g *graph.Graph, mate []int32, viaBuilder bool) error {
+	n := g.N()
+	c := &lv.con
+	c.Fine = g
+	c.Coarse = nil
+	c.Map = growInt32(c.Map, n)
+	c.members = growInt32(c.members, 2*n)
+
+	// Assign coarse ids: matched pairs get one id (at the smaller
+	// endpoint's turn), singletons their own — the same order the
+	// original implementation used, so Map is bit-identical.
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		m := mate[v]
+		if m >= 0 && m < int32(v) {
+			cv := c.Map[m]
+			c.Map[v] = cv
+			c.members[2*cv+1] = int32(v)
+			continue
+		}
+		c.Map[v] = next
+		c.members[2*next] = int32(v)
+		c.members[2*next+1] = -1
+		next++
+	}
+	cn := int(next)
+
+	// Coarse vertex weights, with the same overflow bound the Builder
+	// path enforced before any edge work.
+	lv.vw = growInt32(lv.vw, n)[:cn]
+	for cv := range lv.vw {
+		a, b := c.members[2*cv], c.members[2*cv+1]
+		wsum := int64(g.VertexWeight(a))
+		if b >= 0 {
+			wsum += int64(g.VertexWeight(b))
+		}
+		if wsum > 1<<30 {
+			return fmt.Errorf("coarsen: merged vertex weight %d overflows", wsum)
+		}
+		lv.vw[cv] = int32(wsum)
+	}
+
+	if viaBuilder {
+		return contractViaBuilder(c, lv.vw, cn)
+	}
+
+	// Direct kernel. Rows are written left to right with one global
+	// cursor: coarse vertex cv's row is complete before cv+1's begins,
+	// and the upper bound (every fine half-edge survives) sizes the
+	// buffer, so no counting prepass or compaction pass is needed. A
+	// parallel edge — the second member reaching a coarse neighbor the
+	// first member already reached, or both members' edges to the two
+	// halves of another contracted pair — folds into its existing slot
+	// through the epoch-stamped position map: stamp[cu] == epoch says
+	// pos[cu] is live for the current row, and bumping the epoch per
+	// row invalidates the whole map in O(1).
+	lv.off = growInt32(lv.off, n+1)
+	lv.edges = growEdges(lv.edges, 2*g.M())
+	lv.pos = growInt32(lv.pos, n)
+	lv.stamp = growUint32(lv.stamp, n)
+	pos, stamp, edges, cmap := lv.pos, lv.stamp, lv.edges, c.Map
+	cur := int32(0)
+	for cv := int32(0); int(cv) < cn; cv++ {
+		lv.off[cv] = cur
+		lv.epoch++
+		if lv.epoch == 0 {
+			// The epoch counter wrapped: stale stamps from 2³² rows ago
+			// could collide, so clear them once and restart at 1.
+			for i := range stamp {
+				stamp[i] = 0
+			}
+			lv.epoch = 1
+		}
+		epoch := lv.epoch
+		rowStart := cur
+		a, b := c.members[2*cv], c.members[2*cv+1]
+		for k := 0; k < 2; k++ {
+			fv := a
+			if k == 1 {
+				if b < 0 {
+					break
+				}
+				fv = b
+			}
+			for _, e := range g.Neighbors(fv) {
+				cu := cmap[e.To]
+				if cu == cv {
+					continue // the contracted matching edge itself
+				}
+				if stamp[cu] == epoch {
+					i := pos[cu]
+					merged := int64(edges[i].W) + int64(e.W)
+					if merged > 1<<30 {
+						return fmt.Errorf("coarsen: merged weight %d on edge {%d,%d} overflows", merged, cv, cu)
+					}
+					edges[i].W = int32(merged)
+				} else {
+					stamp[cu] = epoch
+					pos[cu] = cur
+					edges[cur] = graph.Edge{To: cu, W: e.W}
+					cur++
+				}
+			}
+		}
+		// Members' neighbor lists are each sorted by fine id, but coarse
+		// ids are not monotone in fine ids and the two members' runs
+		// interleave — sort the short row to establish CSR order.
+		graph.SortEdges(edges[rowStart:cur])
+	}
+	lv.off[cn] = cur
+	if err := lv.g.ResetCSR(lv.off[:cn+1], edges[:cur], lv.vw); err != nil {
+		return fmt.Errorf("coarsen: contraction kernel produced invalid CSR: %w", err)
+	}
+	c.Coarse = &lv.g
+	return nil
+}
+
+// contractViaBuilder is the original contraction path — one
+// graph.Builder fed every surviving fine edge, with its sort-and-merge
+// Build — kept as the DisableDirectCSR ablation reference. It must stay
+// behaviorally identical to the kernel; the golden fixture and
+// FuzzContractEquivalence hold both to the same output.
+func contractViaBuilder(c *Contraction, vw []int32, cn int) error {
+	b := graph.NewBuilder(cn)
+	for cv := 0; cv < cn; cv++ {
+		b.SetVertexWeight(int32(cv), vw[cv])
+	}
+	c.Fine.Edges(func(u, v, w int32) {
+		cu, cv := c.Map[u], c.Map[v]
+		if cu != cv {
+			b.AddWeightedEdge(cu, cv, w)
+		}
+	})
+	coarse, err := b.Build()
+	if err != nil {
+		return err
+	}
+	c.Coarse = coarse
+	return nil
+}
+
+// Project is the workspace counterpart of Contraction.Project: the fine
+// bisection is materialized in the contraction's level slot (via
+// partition.Reset) instead of freshly allocated, so a warm interior
+// projection allocates nothing. The returned bisection is owned by the
+// workspace — valid until the next Project on the same contraction or
+// until the level slot is reused — which is why the multilevel driver
+// uses it only for interior levels and returns a caller-owned bisection
+// from the final one. A contraction not produced by a workspace falls
+// back to the allocating path.
+func (w *Workspace) Project(c *Contraction, coarse *partition.Bisection) (*partition.Bisection, error) {
+	lv := c.owner
+	if lv == nil {
+		return c.Project(coarse)
+	}
+	if coarse.Graph() != c.Coarse {
+		return nil, fmt.Errorf("coarsen: Project called with a bisection of a different graph")
+	}
+	n := c.Fine.N()
+	w.side = growUint8(w.side, n)
+	side := w.side
+	cs := coarse.SidesRef()
+	for v := 0; v < n; v++ {
+		side[v] = cs[c.Map[v]]
+	}
+	if err := lv.fineBis.Reset(c.Fine, side); err != nil {
+		return nil, err
+	}
+	return &lv.fineBis, nil
+}
+
+// CompactOnce is the workspace counterpart of the package-level
+// CompactOnce: identical protocol, identical random stream, identical
+// trace events, but the matching, contraction, and interior buffers all
+// come from the workspace. The returned fine bisection is freshly
+// allocated and caller-owned (multi-start drivers keep candidates from
+// several runs alive at once), so one bisection allocation per run
+// remains; everything interior is reused.
+func (w *Workspace) CompactOnce(g *graph.Graph, match MatchFunc, initial InitialFunc, refine RefineFunc, r *rng.Rand, obs trace.Observer) (*partition.Bisection, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("coarsen: CompactOnce needs an initial bisector")
+	}
+	w.Reset()
+	var mate []int32
+	if match == nil {
+		mate = w.match.RandomMaximal(g, r)
+	} else {
+		mate = match(g, r)
+	}
+	if matching.Size(mate) == 0 {
+		// Nothing to contract (edgeless graph): solve directly.
+		b := initial(g, r)
+		if b == nil || b.Graph() != g {
+			return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
+		}
+		partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+		return b, nil
+	}
+	c, err := w.Contract(g, mate)
+	if err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		obs.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "coarsen",
+			Index: 0, Vertices: c.Coarse.N(), Edges: c.Coarse.M(),
+		})
+	}
+	cb := initial(c.Coarse, r)
+	if cb == nil || cb.Graph() != c.Coarse {
+		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
+	}
+	partition.RepairBalance(cb, partition.MinAchievableImbalance(c.Coarse.TotalVertexWeight()))
+	if refine != nil {
+		refine(cb, r)
+	}
+	fine, err := c.Project(cb)
+	if err != nil {
+		return nil, err
+	}
+	partition.RepairBalance(fine, partition.MinAchievableImbalance(g.TotalVertexWeight()))
+	if obs != nil {
+		obs.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "uncoarsen",
+			Index: 0, Cut: fine.Cut(), BestCut: fine.Cut(),
+			Imbalance: fine.Imbalance(), Vertices: g.N(), Edges: g.M(),
+		})
+	}
+	return fine, nil
+}
+
+// multilevel is the workspace-backed body of the package-level
+// Multilevel driver: identical protocol, stream, and trace events, with
+// contractions, level graphs, and interior projections all running in
+// workspace buffers. Only the final fine bisection (and the coarsest
+// initial solve, which the initial bisector owns) is freshly allocated.
+// Options are assumed already defaulted by withDefaults.
+func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial InitialFunc, refine RefineFunc, r *rng.Rand) (*partition.Bisection, error) {
+	w.Reset()
+
+	// Coarsening phase. The level stack w.levels[0:nlv] plays the role of
+	// the original implementation's levels slice.
+	nlv := 0
+	cur := g
+	for nlv < o.MaxLevels && cur.N() > o.MinSize {
+		mate := o.Match(cur, r)
+		if matching.Size(mate) == 0 {
+			break
+		}
+		c, err := w.Contract(cur, mate)
+		if err != nil {
+			return nil, err
+		}
+		if c.Ratio() > o.MinRatio {
+			w.depth-- // pop the unproductive level so its slot is reusable
+			break
+		}
+		nlv++
+		cur = c.Coarse
+		if o.Observer != nil {
+			o.Observer.Observe(trace.Event{
+				Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "coarsen",
+				Index: nlv - 1, Vertices: cur.N(), Edges: cur.M(),
+			})
+		}
+	}
+
+	// Coarsest solution.
+	b := initial(cur, r)
+	if b == nil || b.Graph() != cur {
+		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
+	}
+	partition.RepairBalance(b, partition.MinAchievableImbalance(cur.TotalVertexWeight()))
+	if refine != nil {
+		refine(b, r)
+	}
+	if o.Observer != nil {
+		o.Observer.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "initial",
+			Index: nlv, Cut: b.Cut(), BestCut: b.Cut(),
+			Imbalance: b.Imbalance(), Vertices: cur.N(), Edges: cur.M(),
+		})
+	}
+
+	// Uncoarsening phase. Interior projections land in workspace-owned
+	// bisections (each level slot has its own, so b never aliases the
+	// target it projects into); the last projection — the bisection this
+	// function returns — is freshly allocated and caller-owned, because
+	// multi-start drivers keep results from several runs alive while the
+	// workspace moves on to the next.
+	for i := nlv - 1; i >= 0; i-- {
+		c := &w.levels[i].con
+		var fine *partition.Bisection
+		var err error
+		if i == 0 {
+			fine, err = c.Project(b)
+		} else {
+			fine, err = w.Project(c, b)
+		}
+		if err != nil {
+			return nil, err
+		}
+		b = fine
+		partition.RepairBalance(b, partition.MinAchievableImbalance(b.Graph().TotalVertexWeight()))
+		if refine != nil {
+			refine(b, r)
+		}
+		if o.Observer != nil {
+			o.Observer.Observe(trace.Event{
+				Type: trace.TypeLevelDone, Algo: "coarsen", Phase: "uncoarsen",
+				Index: i, Cut: b.Cut(), BestCut: b.Cut(),
+				Imbalance: b.Imbalance(), Vertices: b.Graph().N(), Edges: b.Graph().M(),
+			})
+		}
+	}
+	return b, nil
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growUint32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func growUint8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growEdges(s []graph.Edge, n int) []graph.Edge {
+	if cap(s) < n {
+		return make([]graph.Edge, n)
+	}
+	return s[:n]
+}

@@ -257,6 +257,10 @@ type Compacted struct {
 	// Observer, when non-nil, receives the compaction's level_done
 	// events. Use WithObserver to also attach it to Inner's runs.
 	Observer trace.Observer
+	// Workspace, when non-nil, is the reusable compaction arena the
+	// match/contract/project pipeline runs in (see coarsen.Workspace);
+	// WithWorkspace sets it. Results are identical with or without one.
+	Workspace *coarsen.Workspace
 }
 
 // RefinableBisector is a Bisector that can also improve an existing
@@ -315,8 +319,11 @@ func (a SA) WithWorkspace() Bisector {
 // WithWorkspace implements Reusable for Compacted: the inner bisector's
 // workspace serves both the coarse solve and the final refinement (the
 // workspace sizes itself to the larger graph and is reused as-is on the
-// smaller one).
+// smaller one), and a coarsen.Workspace arena carries the matching,
+// contraction, and projection, so steady-state compaction allocates
+// only the returned bisection.
 func (c Compacted) WithWorkspace() Bisector {
+	c.Workspace = coarsen.NewWorkspace()
 	if c.Inner != nil {
 		c.Inner = withWorkspaceRefinable(c.Inner)
 	}
@@ -324,8 +331,16 @@ func (c Compacted) WithWorkspace() Bisector {
 }
 
 // WithWorkspace implements Reusable for Multilevel: one inner workspace
-// serves every level of the hierarchy.
+// serves every level of the hierarchy, and a coarsen.Workspace arena
+// carries every contraction and interior projection. The options are
+// copied, never mutated in place.
 func (m Multilevel) WithWorkspace() Bisector {
+	var o coarsen.MultilevelOptions
+	if m.Opts != nil {
+		o = *m.Opts
+	}
+	o.Workspace = coarsen.NewWorkspace()
+	m.Opts = &o
 	if m.Inner != nil {
 		m.Inner = withWorkspaceRefinable(m.Inner)
 	}
@@ -396,7 +411,13 @@ func (c Compacted) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, er
 		}
 		return b
 	}
-	start, err := coarsen.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
+	var start *partition.Bisection
+	var err error
+	if c.Workspace != nil {
+		start, err = c.Workspace.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
+	} else {
+		start, err = coarsen.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
+	}
 	if err != nil {
 		return nil, err
 	}

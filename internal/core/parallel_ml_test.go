@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coarsen"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestParallelCompactedWorkspaceDeterminism pins the parallel compacted
+// path: Compacted implements Reusable, so ParallelBestOf hands each
+// worker a private coarsen.Workspace (matching scratch, contraction
+// kernel buffers, projection arena) alongside the inner refiner's
+// workspace. Neither the arena nor the worker count may change results
+// — a sequential BestOf, a 1-worker pool, and a many-worker pool must
+// all return the same cut for the same seed. Run under -race this also
+// proves concurrent workers never share arena state.
+func TestParallelCompactedWorkspaceDeterminism(t *testing.T) {
+	g := mustGraph(gen.BReg(300, 8, 4, rng.NewFib(4)))
+	ckl := Compacted{Inner: KL{}}
+	seq, err := BestOf{Inner: ckl, Starts: 6}.Bisect(g, rng.NewFib(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := ParallelBestOf{Inner: ckl, Starts: 6, Workers: workers}.Bisect(g, rng.NewFib(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Cut() != seq.Cut() {
+			t.Fatalf("workers=%d: parallel CKL cut %d != sequential %d", workers, par.Cut(), seq.Cut())
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, ok := WithWorkspace(Bisector(ckl)).(Compacted)
+	if !ok || ws.Workspace == nil {
+		t.Fatal("Compacted.WithWorkspace did not attach a coarsen workspace")
+	}
+}
+
+// TestParallelMultilevelWorkspaceDeterminism is the multilevel
+// counterpart: each worker's private arena carries every level's
+// contraction and interior projection across its starts, and results
+// stay identical to the workspace-free sequential driver.
+func TestParallelMultilevelWorkspaceDeterminism(t *testing.T) {
+	g := mustGraph(gen.BReg(300, 8, 4, rng.NewFib(5)))
+	mlkl := Multilevel{Inner: KL{}}
+	seq, err := BestOf{Inner: mlkl, Starts: 6}.Bisect(g, rng.NewFib(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := ParallelBestOf{Inner: mlkl, Starts: 6, Workers: workers}.Bisect(g, rng.NewFib(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Cut() != seq.Cut() {
+			t.Fatalf("workers=%d: parallel MLKL cut %d != sequential %d", workers, par.Cut(), seq.Cut())
+		}
+		if err := par.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, ok := WithWorkspace(Bisector(mlkl)).(Multilevel)
+	if !ok || ws.Opts == nil || ws.Opts.Workspace == nil {
+		t.Fatal("Multilevel.WithWorkspace did not attach a coarsen workspace")
+	}
+	// The original options value must not have been mutated.
+	if mlkl.Opts != nil {
+		t.Fatal("WithWorkspace mutated the receiver's options")
+	}
+	var _ *coarsen.Workspace = ws.Opts.Workspace
+}

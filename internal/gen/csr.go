@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// edgeList accumulates the unit-weight edges of a generator and builds
+// the graph by direct CSR layout: one degree-count prepass, one prefix
+// sum, one scatter of both half-edges, then graph.FromCSR. Every
+// generator in this package emits each edge exactly once (GNP and
+// TwoSet enumerate distinct index pairs, the configuration model and
+// the cross matchings deduplicate), so the Builder's sort-and-merge is
+// pure overhead for them — FromCSR validates the multiset is clean and
+// would reject a generator that broke the distinctness contract.
+type edgeList struct {
+	n      int
+	us, vs []int32
+}
+
+func newEdgeList(n int) *edgeList {
+	return &edgeList{n: n}
+}
+
+// add records the undirected edge {u, v}. Endpoints are validated in
+// build, keeping this append-only hot call branch-free.
+func (l *edgeList) add(u, v int32) {
+	l.us = append(l.us, u)
+	l.vs = append(l.vs, v)
+}
+
+// build lays the accumulated edges out in CSR and constructs the graph.
+func (l *edgeList) build() (*graph.Graph, error) {
+	n := l.n
+	for i := range l.us {
+		u, v := l.us[i], l.vs[i]
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("gen: edge {%d,%d} out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("gen: self-loop at vertex %d", u)
+		}
+	}
+	deg := make([]int32, n)
+	for i := range l.us {
+		deg[l.us[i]]++
+		deg[l.vs[i]]++
+	}
+	off := make([]int32, n+1)
+	var sum int32
+	for v := 0; v < n; v++ {
+		off[v] = sum
+		sum += deg[v]
+	}
+	off[n] = sum
+	// Scatter both half-edges, reusing deg as the per-row write cursor.
+	cur := deg
+	copy(cur, off[:n])
+	edges := make([]graph.Edge, sum)
+	for i := range l.us {
+		u, v := l.us[i], l.vs[i]
+		edges[cur[u]] = graph.Edge{To: v, W: 1}
+		cur[u]++
+		edges[cur[v]] = graph.Edge{To: u, W: 1}
+		cur[v]++
+	}
+	return graph.FromCSR(off, edges, nil)
+}

@@ -1,0 +1,224 @@
+package graph
+
+import "fmt"
+
+// This file provides direct CSR construction, bypassing the Builder's
+// sort-and-merge machinery for callers that already know their edge
+// multiset is clean:
+//
+//   - FromCSR is the public validated entry point: generators that can
+//     lay out half-edges with a degree-count prepass (internal/gen) hand
+//     the arrays over and pay one validation sweep instead of the
+//     Builder's triple-slice accumulation, index sort, merge pass, and
+//     per-row sort.Slice closures.
+//   - ResetCSR is the trusted in-place entry point: the contraction
+//     kernel in internal/coarsen rebuilds the same Graph value level
+//     after level from workspace-owned buffers, so steady-state
+//     compaction performs no graph allocations at all.
+//
+// Both produce Graphs indistinguishable from Builder output: the same
+// CSR layout (rows strictly sorted by head vertex) and the same cached
+// aggregates, which the equivalence tests in csr_test.go pin down.
+
+// SortEdges sorts a half-edge list in place by head vertex without
+// allocating: insertion sort for the short rows that dominate the
+// paper's sparse instances, heapsort above that so adversarial degrees
+// stay O(d log d). Direct CSR constructors use it to establish the
+// by-To row order EdgeWeight's binary search relies on.
+func SortEdges(a []Edge) {
+	if len(a) <= 32 {
+		for i := 1; i < len(a); i++ {
+			e := a[i]
+			j := i - 1
+			for j >= 0 && a[j].To > e.To {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = e
+		}
+		return
+	}
+	// Heapsort: sift-down max-heap, then repeated extraction.
+	for i := len(a)/2 - 1; i >= 0; i-- {
+		siftDownEdges(a, i, len(a))
+	}
+	for end := len(a) - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownEdges(a, 0, end)
+	}
+}
+
+func siftDownEdges(a []Edge, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1].To > a[child].To {
+			child++
+		}
+		if a[root].To >= a[child].To {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// FromCSR constructs a Graph directly from CSR arrays: off has N()+1
+// entries with v's half-edges in edges[off[v]:off[v+1]], and vw holds
+// per-vertex weights (nil for unit weights). Rows need not be sorted —
+// FromCSR sorts them in place — but the edge multiset must already
+// describe a simple symmetric weighted graph: every {u,v} present as
+// exactly one half-edge in each endpoint's row with equal positive
+// weight, no self-loops, no duplicates. All of that is validated; the
+// one thing FromCSR never does is merge, which is why it can skip the
+// Builder's sort-and-merge entirely.
+//
+// The slices are adopted, not copied: the caller must not retain them.
+func FromCSR(off []int32, edges []Edge, vw []int32) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs at least one offset entry")
+	}
+	n := len(off) - 1
+	if n > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds limit %d", n, MaxVertices)
+	}
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR offsets start at %d, not 0", off[0])
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: FromCSR offsets decrease at vertex %d", v)
+		}
+	}
+	if int(off[n]) != len(edges) {
+		return nil, fmt.Errorf("graph: FromCSR offsets cover %d half-edges, got %d", off[n], len(edges))
+	}
+	for v := 0; v < n; v++ {
+		SortEdges(edges[off[v]:off[v+1]])
+	}
+	g := &Graph{}
+	if err := g.ResetCSR(off, edges, vw); err != nil {
+		return nil, err
+	}
+	// ResetCSR proved each row simple and clean; symmetry is the one
+	// cross-row invariant left. Checking every half-edge's mirror covers
+	// both missing and weight-mismatched reverse entries.
+	for u := int32(0); int(u) < n; u++ {
+		for _, e := range g.Neighbors(u) {
+			if w := g.EdgeWeight(e.To, u); w != e.W {
+				return nil, fmt.Errorf("graph: asymmetric edge {%d,%d}: %d vs %d", u, e.To, e.W, w)
+			}
+		}
+	}
+	return g, nil
+}
+
+// ResetCSR re-initializes g in place from CSR arrays whose rows are
+// already strictly sorted by head vertex, recomputing every cached
+// aggregate. It is the trusted counterpart of FromCSR for hot paths
+// that construct provably-symmetric CSR (the contraction kernel): only
+// the per-row invariants — sortedness (which subsumes duplicate
+// detection), head range, no self-loops, positive weights — are
+// checked, fused into the aggregate sweep; adjacency symmetry is the
+// caller's contract.
+//
+// The slices are adopted, not copied. The only allocation is growing
+// the cached weighted-degree array when the vertex count exceeds any
+// previous ResetCSR on this Graph value, so workspace-owned Graphs
+// reach a zero-allocation steady state.
+func (g *Graph) ResetCSR(off []int32, edges []Edge, vw []int32) error {
+	if len(off) == 0 {
+		return fmt.Errorf("graph: ResetCSR needs at least one offset entry")
+	}
+	n := len(off) - 1
+	if n > MaxVertices {
+		return fmt.Errorf("graph: vertex count %d exceeds limit %d", n, MaxVertices)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("graph: ResetCSR offsets start at %d, not 0", off[0])
+	}
+	if int(off[n]) != len(edges) {
+		return fmt.Errorf("graph: ResetCSR offsets cover %d half-edges, got %d", off[n], len(edges))
+	}
+	if vw != nil && len(vw) != n {
+		return fmt.Errorf("graph: ResetCSR vertex weights have %d entries for %d vertices", len(vw), n)
+	}
+	if cap(g.wdeg) < n {
+		g.wdeg = make([]int64, n)
+	} else {
+		g.wdeg = g.wdeg[:n]
+	}
+	var (
+		m       int
+		ew      int64
+		maxDeg  int
+		maxWDeg int64
+	)
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if hi < lo {
+			return fmt.Errorf("graph: ResetCSR offsets decrease at vertex %d", v)
+		}
+		if d := int(hi - lo); d > maxDeg {
+			maxDeg = d
+		}
+		var wd int64
+		prev := int32(-1)
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.To < 0 || int(e.To) >= n {
+				return fmt.Errorf("graph: vertex %d has neighbor %d out of range [0,%d)", v, e.To, n)
+			}
+			if int(e.To) == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if e.To <= prev {
+				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted at %d", v, e.To)
+			}
+			if e.W <= 0 {
+				return fmt.Errorf("graph: non-positive weight %d on edge {%d,%d}", e.W, v, e.To)
+			}
+			prev = e.To
+			wd += int64(e.W)
+			if int(e.To) > v {
+				m++
+				ew += int64(e.W)
+			}
+		}
+		g.wdeg[v] = wd
+		if wd > maxWDeg {
+			maxWDeg = wd
+		}
+	}
+	if 2*m != len(edges) {
+		return fmt.Errorf("graph: ResetCSR half-edge count %d is not twice the %d forward edges (asymmetric input)", len(edges), m)
+	}
+	var vwUp int64
+	var maxVW int32 = 1
+	if vw != nil {
+		for v, w := range vw {
+			if w <= 0 {
+				return fmt.Errorf("graph: non-positive vertex weight %d at vertex %d", w, v)
+			}
+			vwUp += int64(w)
+			if w > maxVW {
+				maxVW = w
+			}
+		}
+	} else {
+		vwUp = int64(n)
+	}
+	g.n = n
+	g.off = off
+	g.edges = edges
+	g.vw = vw
+	g.m = m
+	g.ew = ew
+	g.vwUp = vwUp
+	g.maxDeg = maxDeg
+	g.maxWDeg = maxWDeg
+	g.maxVW = maxVW
+	return nil
+}

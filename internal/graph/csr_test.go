@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"testing"
+)
+
+// csrFromBuilder lays out the Builder-built graph's adjacency as raw
+// CSR arrays (copied), for round-tripping through FromCSR.
+func csrFromBuilder(t *testing.T, g *Graph) (off []int32, edges []Edge, vw []int32) {
+	t.Helper()
+	off = make([]int32, g.N()+1)
+	for v := 0; v <= g.N(); v++ {
+		off[v] = g.off[v]
+	}
+	edges = append([]Edge(nil), g.edges...)
+	if g.vw != nil {
+		vw = append([]int32(nil), g.vw...)
+	}
+	return off, edges, vw
+}
+
+func buildSample(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	b.AddWeightedEdge(0, 1, 3)
+	b.AddWeightedEdge(1, 2, 1)
+	b.AddWeightedEdge(2, 3, 7)
+	b.AddWeightedEdge(0, 3, 2)
+	b.AddWeightedEdge(1, 4, 5)
+	b.SetVertexWeight(2, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFromCSRMatchesBuilder: FromCSR on a Builder-produced layout
+// reconstructs an identical graph, including every cached aggregate.
+func TestFromCSRMatchesBuilder(t *testing.T) {
+	want := buildSample(t)
+	g, err := FromCSR(csrFromBuilder(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(want, g) {
+		t.Fatal("FromCSR graph differs from Builder graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != want.M() || g.TotalEdgeWeight() != want.TotalEdgeWeight() ||
+		g.MaxDegree() != want.MaxDegree() || g.MaxWeightedDegree() != want.MaxWeightedDegree() ||
+		g.TotalVertexWeight() != want.TotalVertexWeight() || g.MaxVertexWeight() != want.MaxVertexWeight() {
+		t.Fatal("FromCSR cached aggregates differ from Builder's")
+	}
+}
+
+// TestFromCSRSortsRows: rows may arrive in any order; FromCSR sorts
+// them in place, including rows long enough to hit the heapsort path.
+func TestFromCSRSortsRows(t *testing.T) {
+	const n = 40 // star graph: hub row has 39 entries, above the insertion cutoff
+	off := make([]int32, n+1)
+	edges := make([]Edge, 0, 2*(n-1))
+	off[0] = 0
+	for v := n - 1; v >= 1; v-- { // hub row descending
+		edges = append(edges, Edge{To: int32(v), W: int32(v)})
+	}
+	off[1] = int32(len(edges))
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{To: 0, W: int32(v)})
+		off[v+1] = int32(len(edges))
+	}
+	g, err := FromCSR(off, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(-1)
+	for _, e := range g.Neighbors(0) {
+		if e.To <= prev {
+			t.Fatal("hub row not sorted")
+		}
+		if e.W != e.To {
+			t.Fatalf("edge {0,%d} weight %d, want %d", e.To, e.W, e.To)
+		}
+		prev = e.To
+	}
+}
+
+// TestFromCSRRejects: each invariant violation is caught.
+func TestFromCSRRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		off   []int32
+		edges []Edge
+		vw    []int32
+	}{
+		{name: "empty offsets"},
+		{name: "offsets start nonzero", off: []int32{1, 1}},
+		{name: "offsets decrease", off: []int32{0, 2, 1, 2}, edges: make([]Edge, 2)},
+		{name: "offsets miss edge count", off: []int32{0, 1}, edges: nil},
+		{name: "neighbor out of range", off: []int32{0, 1, 2}, edges: []Edge{{To: 5, W: 1}, {To: 0, W: 1}}},
+		{name: "self loop", off: []int32{0, 1, 2}, edges: []Edge{{To: 0, W: 1}, {To: 1, W: 1}}},
+		{name: "duplicate edge", off: []int32{0, 2, 4},
+			edges: []Edge{{To: 1, W: 1}, {To: 1, W: 1}, {To: 0, W: 1}, {To: 0, W: 1}}},
+		{name: "non-positive weight", off: []int32{0, 1, 2}, edges: []Edge{{To: 1, W: 0}, {To: 0, W: 0}}},
+		{name: "asymmetric missing reverse", off: []int32{0, 1, 1, 2},
+			edges: []Edge{{To: 1, W: 1}, {To: 0, W: 1}}},
+		{name: "asymmetric weight mismatch", off: []int32{0, 1, 2},
+			edges: []Edge{{To: 1, W: 1}, {To: 0, W: 2}}},
+		{name: "bad vertex weight count", off: []int32{0, 0, 0}, vw: []int32{1}},
+		{name: "non-positive vertex weight", off: []int32{0, 0}, vw: []int32{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromCSR(tc.off, tc.edges, tc.vw); err == nil {
+				t.Fatal("FromCSR accepted invalid input")
+			}
+		})
+	}
+}
+
+// TestFromCSREmpty: the empty and edgeless graphs round-trip.
+func TestFromCSREmpty(t *testing.T) {
+	g, err := FromCSR([]int32{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("empty graph got N=%d M=%d", g.N(), g.M())
+	}
+	g, err = FromCSR([]int32{0, 0, 0, 0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 0 || g.TotalVertexWeight() != 3 {
+		t.Fatalf("edgeless graph got N=%d M=%d vw=%d", g.N(), g.M(), g.TotalVertexWeight())
+	}
+}
+
+// TestResetCSRReuse: a Graph value re-initialized in place serves a
+// sequence of different graphs correctly, growing only its cached
+// weighted-degree array — and after the first sizing, reuses with no
+// allocations at all.
+func TestResetCSRReuse(t *testing.T) {
+	want := buildSample(t)
+	off, edges, vw := csrFromBuilder(t, want)
+	var g Graph
+	if err := g.ResetCSR(off, edges, vw); err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(want, &g) {
+		t.Fatal("ResetCSR graph differs from Builder graph")
+	}
+	// Shrink to a triangle in place, then back.
+	tri := NewBuilder(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	wantTri, err := tri.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	toff, tedges, _ := csrFromBuilder(t, wantTri)
+	if err := g.ResetCSR(toff, tedges, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(wantTri, &g) {
+		t.Fatal("ResetCSR shrink differs")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := g.ResetCSR(off, edges, vw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm ResetCSR allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestResetCSRRejectsUnsorted: the trusted path still rejects rows that
+// are not strictly sorted (the duplicate-subsuming check).
+func TestResetCSRRejectsUnsorted(t *testing.T) {
+	var g Graph
+	err := g.ResetCSR([]int32{0, 2, 3, 4},
+		[]Edge{{To: 2, W: 1}, {To: 1, W: 1}, {To: 0, W: 1}, {To: 0, W: 1}}, nil)
+	if err == nil {
+		t.Fatal("ResetCSR accepted an unsorted row")
+	}
+}

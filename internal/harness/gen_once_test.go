@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestGenerateOncePerInstance pins the harness's graph-caching
+// contract: each (row, instance) graph is generated exactly once and
+// shared across every algorithm and start, so generation cost can never
+// contaminate the per-algorithm timings (the clock starts after
+// Generate returns). A regression that re-generated per algorithm or
+// per start would multiply the observed call count.
+func TestGenerateOncePerInstance(t *testing.T) {
+	const instances = 3
+	var calls atomic.Int64
+	table := Table{
+		ID:    "GENONCE",
+		Title: "generation-count probe",
+		Specs: []GraphSpec{{
+			Label:     "probe",
+			Expected:  -1,
+			Instances: instances,
+			Generate: func(r *rng.Rand) (*graph.Graph, error) {
+				calls.Add(1)
+				return gen.GNP(60, 0.08, r)
+			},
+		}},
+	}
+	cfg := Config{
+		Seed:   3,
+		Starts: 2,
+		Algorithms: []core.Bisector{
+			core.KL{},
+			core.Compacted{Inner: core.KL{}},
+		},
+	}
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != instances {
+		t.Fatalf("Generate called %d times for %d instances (want exactly one call per instance, shared across %d algorithms × %d starts)",
+			got, instances, len(cfg.Algorithms), cfg.Starts)
+	}
+}
+
+// TestSharedGraphNotMutated: the graph handed to the algorithms is the
+// generator's output object, and no algorithm run mutates it — both
+// prerequisites for the once-per-instance cache above to be sound.
+func TestSharedGraphNotMutated(t *testing.T) {
+	var mu sync.Mutex
+	var produced []*graph.Graph
+	table := Table{
+		ID:    "GENSHARE",
+		Title: "shared-graph probe",
+		Specs: []GraphSpec{{
+			Label:     "probe",
+			Expected:  -1,
+			Instances: 1,
+			Generate: func(r *rng.Rand) (*graph.Graph, error) {
+				g, err := gen.BReg(80, 4, 3, r)
+				if err == nil {
+					mu.Lock()
+					produced = append(produced, g)
+					mu.Unlock()
+				}
+				return g, err
+			},
+		}},
+	}
+	cfg := Config{Seed: 5, Starts: 2, Algorithms: []core.Bisector{core.Compacted{Inner: core.KL{}}}}
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(produced) != 1 {
+		t.Fatalf("expected 1 generated graph, saw %d", len(produced))
+	}
+	if err := produced[0].Validate(); err != nil {
+		t.Fatalf("shared graph was corrupted by algorithm runs: %v", err)
+	}
+}

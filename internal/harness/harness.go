@@ -230,6 +230,13 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 		// One deterministic stream per (row, instance) for generation,
 		// split into per-algorithm streams so algorithms see identical
 		// graphs but independent randomness.
+		//
+		// The graph is generated exactly once per instance and shared by
+		// every algorithm and start — Generate is never re-invoked inside
+		// the algorithm loop (TestGenerateOncePerInstance pins this).
+		// Generation cost therefore cannot leak into the reported
+		// timings: the per-algorithm clock starts after the graph exists,
+		// and algorithms only read the shared immutable graph.
 		base := rng.NewFib(mix(c.Seed, uint64(rowIdx), uint64(inst)))
 		g, err := spec.Generate(base)
 		if err != nil {

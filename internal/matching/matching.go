@@ -13,15 +13,69 @@ import (
 	"repro/internal/rng"
 )
 
-// RandomMaximal greedily builds a maximal matching: vertices are visited
-// in uniformly random order, and each still-unmatched vertex is matched
-// with a uniformly random unmatched neighbor (if any). The result is
-// maximal — no edge can be added — and its randomness is exactly what the
-// compaction heuristic needs to decorrelate successive contractions.
-func RandomMaximal(g *graph.Graph, r *rng.Rand) []int32 {
-	mate := newMate(g.N())
-	cand := make([]int32, 0, 16)
-	for _, vi := range r.Perm(g.N()) {
+// Workspace holds the scratch arrays of the matching algorithms — the
+// mate array under construction, the visit permutation, and the
+// candidate buffer — so repeated matchings of same-sized graphs (every
+// level and start of a compaction campaign) allocate nothing after the
+// first call. The zero value is ready to use; a Workspace must not be
+// shared across goroutines.
+type Workspace struct {
+	mate []int32
+	perm []int
+	cand []int32
+}
+
+// NewWorkspace returns an empty Workspace. Buffers are sized lazily on
+// first use and grown as needed, so one workspace serves graphs of any
+// size.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// resetMate returns the mate buffer resized to n and filled with -1.
+func (w *Workspace) resetMate(n int) []int32 {
+	if cap(w.mate) < n {
+		w.mate = make([]int32, n)
+	}
+	w.mate = w.mate[:n]
+	for i := range w.mate {
+		w.mate[i] = -1
+	}
+	return w.mate
+}
+
+// resetPerm returns a uniformly random permutation of [0, n) in the
+// reused buffer. Identity-fill followed by Shuffle draws exactly the
+// words r.Perm(n) would, so workspace matchings consume the same random
+// stream as the allocating package functions — the fixture-pinned
+// determinism contract.
+func (w *Workspace) resetPerm(n int, r *rng.Rand) []int {
+	if cap(w.perm) < n {
+		w.perm = make([]int, n)
+	}
+	w.perm = w.perm[:n]
+	for i := range w.perm {
+		w.perm[i] = i
+	}
+	r.Shuffle(w.perm)
+	return w.perm
+}
+
+// candBuf returns an empty candidate buffer with capacity for the
+// largest adjacency list of g.
+func (w *Workspace) candBuf(g *graph.Graph) []int32 {
+	if d := g.MaxDegree(); cap(w.cand) < d {
+		w.cand = make([]int32, 0, d)
+	}
+	return w.cand[:0]
+}
+
+// RandomMaximal is the workspace counterpart of the package function:
+// same algorithm, same random stream, zero steady-state allocations.
+// The returned mate array is owned by the workspace and valid until its
+// next use. The method value satisfies coarsen.MatchFunc.
+func (w *Workspace) RandomMaximal(g *graph.Graph, r *rng.Rand) []int32 {
+	mate := w.resetMate(g.N())
+	cand := w.candBuf(g)
+	for _, vi := range w.resetPerm(g.N(), r) {
 		v := int32(vi)
 		if mate[v] >= 0 {
 			continue
@@ -41,15 +95,14 @@ func RandomMaximal(g *graph.Graph, r *rng.Rand) []int32 {
 	return mate
 }
 
-// HeavyEdge builds a maximal matching preferring heavy edges: vertices
-// are visited in random order and matched with the heaviest unmatched
-// neighbor (ties broken uniformly at random). On contracted graphs this
-// is the classical heavy-edge matching rule of multilevel partitioners;
-// it is provided for the matching-policy ablation.
-func HeavyEdge(g *graph.Graph, r *rng.Rand) []int32 {
-	mate := newMate(g.N())
-	best := make([]int32, 0, 8)
-	for _, vi := range r.Perm(g.N()) {
+// HeavyEdge is the workspace counterpart of the package function: same
+// algorithm, same random stream, zero steady-state allocations. The
+// returned mate array is owned by the workspace and valid until its
+// next use.
+func (w *Workspace) HeavyEdge(g *graph.Graph, r *rng.Rand) []int32 {
+	mate := w.resetMate(g.N())
+	best := w.candBuf(g)
+	for _, vi := range w.resetPerm(g.N(), r) {
 		v := int32(vi)
 		if mate[v] >= 0 {
 			continue
@@ -75,6 +128,30 @@ func HeavyEdge(g *graph.Graph, r *rng.Rand) []int32 {
 		mate[v], mate[u] = u, v
 	}
 	return mate
+}
+
+// RandomMaximal greedily builds a maximal matching: vertices are visited
+// in uniformly random order, and each still-unmatched vertex is matched
+// with a uniformly random unmatched neighbor (if any). The result is
+// maximal — no edge can be added — and its randomness is exactly what the
+// compaction heuristic needs to decorrelate successive contractions.
+//
+// This allocates fresh result and scratch arrays per call; campaigns
+// that match repeatedly should hold a Workspace and call its method.
+func RandomMaximal(g *graph.Graph, r *rng.Rand) []int32 {
+	var w Workspace
+	return w.RandomMaximal(g, r)
+}
+
+// HeavyEdge builds a maximal matching preferring heavy edges: vertices
+// are visited in random order and matched with the heaviest unmatched
+// neighbor (ties broken uniformly at random). On contracted graphs this
+// is the classical heavy-edge matching rule of multilevel partitioners;
+// it is provided for the matching-policy ablation. Like RandomMaximal
+// it allocates per call; use a Workspace to amortize.
+func HeavyEdge(g *graph.Graph, r *rng.Rand) []int32 {
+	var w Workspace
+	return w.HeavyEdge(g, r)
 }
 
 // Augment3 improves a maximal matching in place by flipping length-3
@@ -181,12 +258,4 @@ func IsMaximal(g *graph.Graph, mate []int32) bool {
 		}
 	})
 	return maximal
-}
-
-func newMate(n int) []int32 {
-	mate := make([]int32, n)
-	for i := range mate {
-		mate[i] = -1
-	}
-	return mate
 }

@@ -141,6 +141,43 @@ func (b *Bisection) SetSides(side []uint8) error {
 	return nil
 }
 
+// Reset re-initializes b for graph g with the given side assignment
+// (entries must be 0 or 1; the slice is copied), rebuilding all
+// incremental state in O(m). Unlike New it works on an existing value —
+// including the zero value — and grows the internal arrays only when g
+// is larger than any graph this bisection has held, so a warm bisection
+// resets without allocating. Unlike SetSides it accepts a different
+// graph, or the same *graph.Graph whose contents were rebuilt in place
+// (the multilevel workspace re-derives its level graphs every run), so
+// it never trusts previously cached sizes.
+func (b *Bisection) Reset(g *graph.Graph, side []uint8) error {
+	n := g.N()
+	if len(side) != n {
+		return fmt.Errorf("partition: Reset with %d entries for %d vertices", len(side), n)
+	}
+	for v, s := range side {
+		if s > 1 {
+			return fmt.Errorf("partition: vertex %d assigned to side %d", v, s)
+		}
+	}
+	b.g = g
+	if cap(b.side) < n {
+		b.side = make([]uint8, n)
+	}
+	b.side = b.side[:n]
+	copy(b.side, side)
+	if cap(b.gain) < n {
+		b.gain = make([]int64, n)
+	}
+	b.gain = b.gain[:n]
+	b.sideW = [2]int64{}
+	for v := int32(0); int(v) < n; v++ {
+		b.sideW[b.side[v]] += int64(g.VertexWeight(v))
+	}
+	b.recomputeGainsAndCut()
+	return nil
+}
+
 // Cut returns the weighted cut.
 func (b *Bisection) Cut() int64 { return b.cut }
 

@@ -29,19 +29,27 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-# The parallel-chain SA path (N goroutines annealing over per-chain
-# workspaces) gets extra race-detector exercise beyond the single pass
-# the full run gives it: repeated runs vary goroutine interleavings.
-echo "==> go test -race -count=3 -run 'TestParallel.*SA|TestParallelBestOf' ./internal/core/"
-go test -race -count=3 -run 'TestParallel.*SA|TestParallelBestOf' ./internal/core/
+# The parallel paths (N goroutines annealing over per-chain workspaces;
+# parallel multi-start over per-worker compaction arenas) get extra
+# race-detector exercise beyond the single pass the full run gives
+# them: repeated runs vary goroutine interleavings.
+echo "==> go test -race -count=3 -run 'TestParallel' ./internal/core/"
+go test -race -count=3 -run 'TestParallel' ./internal/core/
+
+# The compaction arena's zero-alloc contract: matching, contraction,
+# and the full warm compact/project cycle must not touch the heap in
+# steady state (the bench gate below checks the same property from the
+# benchmark side).
+echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ (alloc contract)"
+go test -count=1 -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/
 
 echo "==> go run ./cmd/bench -quick  (snapshot -> $out)"
 go run ./cmd/bench -quick -o "$out"
 
 # The quick suite records allocs_per_op for every steady-state row —
-# the KL/FM passes and the SA refine loop; all must be zero (the alloc
-# regression tests enforce the same bound under `go test`, this is the
-# belt to their suspenders).
+# the KL/FM passes, the SA refine loop, and the warm compaction cycle;
+# all must be zero (the alloc regression tests enforce the same bound
+# under `go test`, this is the belt to their suspenders).
 awk '
   /"name": ".*_steady_/ { steady = 1 }
   steady && /"allocs_per_op":/ {
