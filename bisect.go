@@ -1,13 +1,16 @@
 package bisect
 
 import (
+	"context"
 	"io"
+	iofs "io/fs"
 
 	"repro/internal/anneal"
 	"repro/internal/coarsen"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/fm"
+	"repro/internal/fsx"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/hfm"
@@ -17,6 +20,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/spectral"
 	"repro/internal/trace"
 )
@@ -367,6 +371,60 @@ func Lambda2(g *Graph, opts SpectralOptions, r *Rand) (float64, error) {
 // bisection width (approximate: λ₂ is estimated).
 func SpectralLowerBound(g *Graph, opts SpectralOptions, r *Rand) (float64, error) {
 	return spectral.BisectionLowerBound(g, opts, r)
+}
+
+// Run control (docs/ROBUSTNESS.md).
+
+type (
+	// RunControl carries cancellation and checkpoint budgets into
+	// algorithm runs; see WithControl and BisectCtx.
+	RunControl = runctl.Control
+	// ControllableBisector is a Bisector whose runs can be interrupted
+	// at coarse checkpoints, returning their best-so-far bisection.
+	ControllableBisector = core.Controllable
+	// PoolError aggregates the failed starts of a ParallelBestOf run;
+	// it can accompany a usable best-of-survivors bisection.
+	PoolError = core.PoolError
+	// PanicError is a panic captured inside one start of a parallel run.
+	PanicError = core.PanicError
+)
+
+// ErrBudgetExceeded is returned (possibly wrapped) by runs stopped by a
+// checkpoint budget; IsStopError reports true for it.
+var ErrBudgetExceeded = runctl.ErrBudgetExceeded
+
+// NewRunControl returns a control that stops at ctx's cancellation or
+// after budget checkpoint polls, whichever comes first (budget ≤ 0 =
+// unlimited). A nil *RunControl is valid and never stops.
+func NewRunControl(ctx context.Context, budget int64) *RunControl { return runctl.New(ctx, budget) }
+
+// IsStopError reports whether err is a cooperative-stop sentinel
+// (budget exhausted, context cancelled, or deadline exceeded) — i.e.
+// whether an accompanying bisection is a valid best-so-far result
+// rather than debris from a failure.
+func IsStopError(err error) bool { return runctl.IsStop(err) }
+
+// WithControl attaches ctl to b if its algorithm supports cooperative
+// interruption; otherwise (or when ctl is nil) returns b unchanged.
+func WithControl(b Bisector, ctl *RunControl) Bisector { return core.WithControl(b, ctl) }
+
+// BisectCtx runs b on g under ctx: on cancellation or deadline the run
+// stops at its next checkpoint and returns its valid best-so-far
+// bisection together with ctx's error.
+func BisectCtx(ctx context.Context, b Bisector, g *Graph, r *Rand) (*Bisection, error) {
+	return core.BisectCtx(ctx, b, g, r)
+}
+
+// RefineCtx improves bis in place under ctx; see BisectCtx.
+func RefineCtx(ctx context.Context, b RefinableBisector, bis *Bisection, r *Rand) error {
+	return core.RefineCtx(ctx, b, bis, r)
+}
+
+// WriteFileAtomic writes data to path atomically (temp file in the same
+// directory + fsync + rename), so readers never observe a partial file
+// and a crash mid-write leaves any previous contents intact.
+func WriteFileAtomic(path string, data []byte, perm uint32) error {
+	return fsx.WriteFileAtomic(path, data, iofs.FileMode(perm))
 }
 
 // NewNetlist returns an empty VLSI netlist.

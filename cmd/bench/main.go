@@ -27,6 +27,7 @@ import (
 	"repro/internal/coarsen"
 	"repro/internal/core"
 	"repro/internal/fm"
+	"repro/internal/fsx"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -65,12 +66,8 @@ type Snapshot struct {
 	Notes      string      `json:"notes,omitempty"`
 }
 
-func mustGNP(n int, deg float64, seed uint64) *graph.Graph {
-	g, err := gen.GNP(n, deg/float64(n-1), rng.NewFib(seed))
-	if err != nil {
-		panic(err)
-	}
-	return g
+func gnpGraph(n int, deg float64, seed uint64) (*graph.Graph, error) {
+	return gen.GNP(n, deg/float64(n-1), rng.NewFib(seed))
 }
 
 func record(name string, metric float64, fn func(b *testing.B)) Result {
@@ -86,11 +83,11 @@ func record(name string, metric float64, fn func(b *testing.B)) Result {
 
 // klRun measures full KL runs (random start + refinement to fixpoint)
 // on one shared workspace — the steady state of a multi-start campaign.
-func klRun(g *graph.Graph) (float64, func(b *testing.B)) {
+func klRun(g *graph.Graph) (float64, func(b *testing.B), error) {
 	ws := kl.NewRefiner()
 	bis, _, err := kl.Run(g, kl.Options{Workspace: ws}, rng.NewFib(7))
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	return float64(bis.Cut()), func(b *testing.B) {
 		r := rng.NewFib(7)
@@ -101,14 +98,14 @@ func klRun(g *graph.Graph) (float64, func(b *testing.B)) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
-func fmRun(g *graph.Graph) (float64, func(b *testing.B)) {
+func fmRun(g *graph.Graph) (float64, func(b *testing.B), error) {
 	ws := fm.NewRefiner()
 	bis, _, err := fm.Run(g, fm.Options{Workspace: ws}, rng.NewFib(7))
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	return float64(bis.Cut()), func(b *testing.B) {
 		r := rng.NewFib(7)
@@ -119,16 +116,16 @@ func fmRun(g *graph.Graph) (float64, func(b *testing.B)) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
 // klPassSteady measures one steady-state KL pass on a warmed workspace —
 // the allocation-free inner loop itself (allocs_per_op must be 0).
-func klPassSteady(g *graph.Graph) func(b *testing.B) {
+func klPassSteady(g *graph.Graph) (func(b *testing.B), error) {
 	ws := kl.NewRefiner()
 	bis := partition.NewRandom(g, rng.NewFib(9))
 	if _, _, _, err := ws.Pass(bis, kl.Options{}); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -138,7 +135,7 @@ func klPassSteady(g *graph.Graph) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
 // benchSAOpts is the reduced annealing schedule shared by every SA
@@ -151,10 +148,10 @@ func benchSAOpts() anneal.Options {
 // saRun measures full SA runs (random start, calibration, annealing to
 // frozen, rebalance) on one shared workspace — the steady state of a
 // multi-chain campaign.
-func saRun(g *graph.Graph, opts anneal.Options) (float64, func(b *testing.B)) {
+func saRun(g *graph.Graph, opts anneal.Options) (float64, func(b *testing.B), error) {
 	bis, _, err := anneal.Run(g, opts, rng.NewFib(7))
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	return float64(bis.Cut()), func(b *testing.B) {
 		opts.Workspace = anneal.NewRefiner()
@@ -166,18 +163,18 @@ func saRun(g *graph.Graph, opts anneal.Options) (float64, func(b *testing.B)) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
 // saRefineSteady measures Refine alone — calibration plus the annealing
 // trial loop — restarted from the same saved state each iteration, so
 // the per-start NewRandom allocation is out of the picture and the row
 // exposes the inner loop the way *_pass_steady_* rows do for KL/FM.
-func saRefineSteady(g *graph.Graph, opts anneal.Options) func(b *testing.B) {
+func saRefineSteady(g *graph.Graph, opts anneal.Options) (func(b *testing.B), error) {
 	start := partition.NewRandom(g, rng.NewFib(9))
 	sides := start.Sides()
 	if _, err := anneal.Refine(start, opts, rng.NewFib(9)); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return func(b *testing.B) {
 		opts.Workspace = anneal.NewRefiner()
@@ -192,14 +189,14 @@ func saRefineSteady(g *graph.Graph, opts anneal.Options) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
-func fmPassSteady(g *graph.Graph) func(b *testing.B) {
+func fmPassSteady(g *graph.Graph) (func(b *testing.B), error) {
 	ws := fm.NewRefiner()
 	bis := partition.NewRandom(g, rng.NewFib(9))
 	if _, _, err := ws.Pass(bis, fm.Options{}); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -209,16 +206,16 @@ func fmPassSteady(g *graph.Graph) func(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
 // genRow measures a generator end to end (RNG to validated graph); the
 // metric is the edge count of the fixed-seed build, which pins the
 // generated graph itself across snapshots.
-func genRow(build func() (*graph.Graph, error)) (float64, func(b *testing.B)) {
+func genRow(build func() (*graph.Graph, error)) (float64, func(b *testing.B), error) {
 	g, err := build()
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	metric := float64(g.M())
 	return metric, func(b *testing.B) {
@@ -229,19 +226,19 @@ func genRow(build func() (*graph.Graph, error)) (float64, func(b *testing.B)) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
 // compactOnceRow measures one full compaction level through the public
 // entry point — matching, contraction, random coarse bisection,
 // projection, repair — the unit the compacted algorithms pay per start.
-func compactOnceRow(g *graph.Graph) (float64, func(b *testing.B)) {
+func compactOnceRow(g *graph.Graph) (float64, func(b *testing.B), error) {
 	initial := func(cg *graph.Graph, r *rng.Rand) *partition.Bisection {
 		return partition.NewRandom(cg, r)
 	}
 	bis, err := coarsen.CompactOnce(g, nil, initial, nil, rng.NewFib(7), nil)
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	return float64(bis.Cut()), func(b *testing.B) {
 		r := rng.NewFib(7)
@@ -252,16 +249,16 @@ func compactOnceRow(g *graph.Graph) (float64, func(b *testing.B)) {
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
 // bisectorRun measures full composed-algorithm runs (CKL, CSA, MLKL)
 // through the core registry with a per-campaign workspace — the steady
 // state the harness and the parallel drivers run in.
-func bisectorRun(alg core.Bisector, g *graph.Graph) (float64, func(b *testing.B)) {
+func bisectorRun(alg core.Bisector, g *graph.Graph) (float64, func(b *testing.B), error) {
 	bis, err := core.WithWorkspace(alg).Bisect(g, rng.NewFib(7))
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
 	return float64(bis.Cut()), func(b *testing.B) {
 		a := core.WithWorkspace(alg)
@@ -273,27 +270,34 @@ func bisectorRun(alg core.Bisector, g *graph.Graph) (float64, func(b *testing.B)
 				b.Fatal(err)
 			}
 		}
-	}
+	}, nil
 }
 
-func tableCuts(t harness.Table) TableCuts {
+func tableCuts(t harness.Table) (TableCuts, error) {
 	cfg := harness.Config{
 		Seed: 1989, Starts: 2,
 		SAOpts: anneal.Options{SizeFactor: 4, TempFactor: 0.9, FreezeLim: 3, MaxTemps: 300},
 	}
 	res, err := harness.Run(t, cfg)
 	if err != nil {
-		panic(err)
+		return TableCuts{}, err
 	}
 	tc := TableCuts{ID: t.ID, Cuts: map[string]float64{}, Seconds: map[string]float64{}}
 	for _, name := range res.Algorithms {
 		tc.Cuts[name] = res.MeanCut(name)
 		tc.Seconds[name] = res.MeanSeconds(name)
 	}
-	return tc
+	return tc, nil
 }
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	out := flag.String("o", "", "write the snapshot to this file (default stdout)")
 	baseline := flag.String("baseline", "", "embed this previously written snapshot as the baseline")
 	quick := flag.Bool("quick", false, "micro-benchmarks only; skip the harness tables")
@@ -320,72 +324,122 @@ func main() {
 	add := func(name string, metric float64, fn func(b *testing.B)) {
 		defs = append(defs, def{name, metric, fn})
 	}
-	g25 := mustGNP(400, 2.5, 42)
-	g40 := mustGNP(400, 4.0, 42)
-	g160 := mustGNP(400, 16.0, 42)
-	cut, fn := klRun(g25)
+	g25, err := gnpGraph(400, 2.5, 42)
+	if err != nil {
+		return err
+	}
+	g40, err := gnpGraph(400, 4.0, 42)
+	if err != nil {
+		return err
+	}
+	g160, err := gnpGraph(400, 16.0, 42)
+	if err != nil {
+		return err
+	}
+	cut, fn, err := klRun(g25)
+	if err != nil {
+		return err
+	}
 	add("kl_run_gnp400_d2.5", cut, fn)
-	cut, fn = klRun(g40)
+	if cut, fn, err = klRun(g40); err != nil {
+		return err
+	}
 	add("kl_run_gnp400_d4.0", cut, fn)
-	cut, fn = klRun(g160)
+	if cut, fn, err = klRun(g160); err != nil {
+		return err
+	}
 	add("kl_run_gnp400_d16", cut, fn)
-	cut, fn = fmRun(g40)
+	if cut, fn, err = fmRun(g40); err != nil {
+		return err
+	}
 	add("fm_run_gnp400_d4.0", cut, fn)
-	add("kl_pass_steady_gnp400_d4.0", 0, klPassSteady(g40))
-	add("fm_pass_steady_gnp400_d4.0", 0, fmPassSteady(g40))
+	steady, err := klPassSteady(g40)
+	if err != nil {
+		return err
+	}
+	add("kl_pass_steady_gnp400_d4.0", 0, steady)
+	if steady, err = fmPassSteady(g40); err != nil {
+		return err
+	}
+	add("fm_pass_steady_gnp400_d4.0", 0, steady)
 
 	// The SA families: the annealing trial loop is degree-insensitive
 	// (one uniformly random vertex per trial), so one Gnp instance plus
 	// one regular planted-bisection instance covers the paper's SA rows.
-	gbreg := func() *graph.Graph {
-		g, err := gen.BReg(400, 8, 4, rng.NewFib(42))
-		if err != nil {
-			panic(err)
-		}
-		return g
-	}()
-	cut, fn = saRun(g40, benchSAOpts())
+	gbreg, err := gen.BReg(400, 8, 4, rng.NewFib(42))
+	if err != nil {
+		return err
+	}
+	if cut, fn, err = saRun(g40, benchSAOpts()); err != nil {
+		return err
+	}
 	add("sa_run_gnp400_d4.0", cut, fn)
-	cut, fn = saRun(gbreg, benchSAOpts())
+	if cut, fn, err = saRun(gbreg, benchSAOpts()); err != nil {
+		return err
+	}
 	add("sa_run_breg400_d4", cut, fn)
-	add("sa_refine_steady_gnp400_d4.0", 0, saRefineSteady(g40, benchSAOpts()))
+	if steady, err = saRefineSteady(g40, benchSAOpts()); err != nil {
+		return err
+	}
+	add("sa_refine_steady_gnp400_d4.0", 0, steady)
 
 	// Generator rows: RNG to validated graph, pinned by edge count. These
 	// time the construction fast path itself (degree-prepass CSR layout
 	// versus builder sort-and-merge).
-	m, fn := genRow(func() (*graph.Graph, error) {
+	m, fn, err := genRow(func() (*graph.Graph, error) {
 		return gen.GNP(400, 4.0/399.0, rng.NewFib(42))
 	})
+	if err != nil {
+		return err
+	}
 	add("gen_gnp400_d4.0", m, fn)
-	m, fn = genRow(func() (*graph.Graph, error) {
+	if m, fn, err = genRow(func() (*graph.Graph, error) {
 		return gen.BReg(400, 8, 4, rng.NewFib(42))
-	})
+	}); err != nil {
+		return err
+	}
 	add("gen_breg400_d4", m, fn)
 	p2set, err := gen.TwoSetForAvgDegree(400, 4.0, 16)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	m, fn = genRow(func() (*graph.Graph, error) {
+	if m, fn, err = genRow(func() (*graph.Graph, error) {
 		return gen.TwoSet(400, p2set, p2set, 16, rng.NewFib(42))
-	})
+	}); err != nil {
+		return err
+	}
 	add("gen_2set400_d4", m, fn)
 
 	// Compaction rows: the paper's Section V pipeline, from the single
 	// compaction level the CKL/CSA algorithms pay per start up to the
 	// composed algorithms themselves.
-	cut, fn = compactOnceRow(g25)
+	if cut, fn, err = compactOnceRow(g25); err != nil {
+		return err
+	}
 	add("compact_once_gnp400_d2.5", cut, fn)
-	cut, fn = compactOnceRow(gbreg)
+	if cut, fn, err = compactOnceRow(gbreg); err != nil {
+		return err
+	}
 	add("compact_once_breg400_d4", cut, fn)
-	cut, fn = bisectorRun(core.Compacted{Inner: core.KL{}}, g25)
+	if cut, fn, err = bisectorRun(core.Compacted{Inner: core.KL{}}, g25); err != nil {
+		return err
+	}
 	add("ckl_run_gnp400_d2.5", cut, fn)
-	cut, fn = bisectorRun(core.Compacted{Inner: core.KL{}}, g40)
+	if cut, fn, err = bisectorRun(core.Compacted{Inner: core.KL{}}, g40); err != nil {
+		return err
+	}
 	add("ckl_run_gnp400_d4.0", cut, fn)
-	cut, fn = bisectorRun(core.Compacted{Inner: core.SA{Opts: benchSAOpts()}}, g40)
+	if cut, fn, err = bisectorRun(core.Compacted{Inner: core.SA{Opts: benchSAOpts()}}, g40); err != nil {
+		return err
+	}
 	add("csa_run_gnp400_d4.0", cut, fn)
-	cut, fn = bisectorRun(core.Compacted{Inner: core.SA{Opts: benchSAOpts()}}, gbreg)
+	if cut, fn, err = bisectorRun(core.Compacted{Inner: core.SA{Opts: benchSAOpts()}}, gbreg); err != nil {
+		return err
+	}
 	add("csa_run_breg400_d4", cut, fn)
-	cut, fn = bisectorRun(core.Multilevel{Inner: core.KL{}}, g40)
+	if cut, fn, err = bisectorRun(core.Multilevel{Inner: core.KL{}}, g40); err != nil {
+		return err
+	}
 	add("mlkl_run_gnp400_d4.0", cut, fn)
 
 	// Rows that exist only in trees with the workspace arena API (the
@@ -406,20 +460,22 @@ func main() {
 			harness.LadderTable([]int{34, 100}),
 		} {
 			fmt.Fprintf(os.Stderr, "table %s\n", t.ID)
-			snap.Tables = append(snap.Tables, tableCuts(t))
+			tc, err := tableCuts(t)
+			if err != nil {
+				return err
+			}
+			snap.Tables = append(snap.Tables, tc)
 		}
 	}
 
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: read baseline: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("read baseline: %w", err)
 		}
 		var base Snapshot
 		if err := json.Unmarshal(data, &base); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: parse baseline: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("parse baseline: %w", err)
 		}
 		base.Baseline = nil // never nest more than one level
 		snap.Baseline = &base
@@ -427,16 +483,16 @@ func main() {
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		panic(err)
+		return err
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		os.Stdout.Write(data)
-		return
+		_, err := os.Stdout.Write(data)
+		return err
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-		os.Exit(1)
+	if err := fsx.WriteFileAtomic(*out, data, 0o644); err != nil {
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	return nil
 }

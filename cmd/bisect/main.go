@@ -5,33 +5,52 @@
 //
 //	bisect -in graph.el [-format edgelist|metis] [-alg ckl] [-starts 2]
 //	       [-seed 1989] [-out sides.txt] [-validate]
+//	       [-timeout 30s] [-budget N]
 //	       [-trace events.jsonl] [-trace-format jsonl|csv] [-trace-timing]
 //
 // The output file (if requested) has one line per vertex: "<id> <side>".
 // -trace streams per-pass/per-temperature/per-level events ("-" =
 // stdout); see docs/OBSERVABILITY.md for the schema. Without
 // -trace-timing the stream is byte-identical across runs of one seed.
+//
+// A run interrupted by -timeout, -budget, SIGINT, or SIGTERM still
+// reports (and writes) the best bisection found so far, then exits with
+// code 3 so scripts can tell "stopped early with a valid result" from
+// success (0) and failure (1). See docs/ROBUSTNESS.md.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	bisect "repro"
+	"repro/internal/fsx"
 )
 
+// exitInterrupted is the exit code for runs stopped by a timeout,
+// budget, or signal that still produced a valid best-so-far result.
+const exitInterrupted = 3
+
 func main() {
-	if err := run(); err != nil {
+	interrupted, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bisect:", err)
 		os.Exit(1)
 	}
+	if interrupted {
+		os.Exit(exitInterrupted)
+	}
 }
 
-func run() error {
+func run() (interrupted bool, err error) {
 	in := flag.String("in", "", "input graph file (required)")
 	format := flag.String("format", "", "input format: edgelist, metis, json (default: by extension)")
 	alg := flag.String("alg", "ckl", "algorithm: "+strings.Join(bisect.BisectorNames(), ", "))
@@ -39,6 +58,8 @@ func run() error {
 	seed := flag.Uint64("seed", 1989, "random seed")
 	out := flag.String("out", "", "write per-vertex side assignment to this file")
 	validate := flag.Bool("validate", false, "re-verify the result from scratch before reporting")
+	timeout := flag.Duration("timeout", 0, "stop at the next checkpoint after this long, keeping the best-so-far result (0 = none)")
+	budget := flag.Int64("budget", 0, "stop after this many checkpoint polls, keeping the best-so-far result (0 = unlimited)")
 	tracePath := flag.String("trace", "", "stream trace events to this file (\"-\" = stdout); see docs/OBSERVABILITY.md")
 	traceFormat := flag.String("trace-format", "jsonl", "trace output format: jsonl or csv")
 	traceTiming := flag.Bool("trace-timing", false, "include wall-clock/allocation counters in the trace (non-deterministic)")
@@ -46,11 +67,11 @@ func run() error {
 
 	if *in == "" {
 		flag.Usage()
-		return fmt.Errorf("missing -in")
+		return false, fmt.Errorf("missing -in")
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer f.Close()
 
@@ -61,34 +82,50 @@ func run() error {
 	case "json":
 		data, rerr := os.ReadFile(*in)
 		if rerr != nil {
-			return rerr
+			return false, rerr
 		}
 		g, err = bisect.UnmarshalGraph(data)
 	default:
 		g, err = bisect.ReadEdgeList(f)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Printf("graph: %d vertices, %d edges, avg degree %.2f\n", g.N(), g.M(), g.AvgDegree())
 
 	a, err := bisect.NewBisector(*alg)
 	if err != nil {
-		return err
+		return false, err
 	}
 
+	// SIGINT/SIGTERM and -timeout cancel the same context; the
+	// algorithms stop at their next checkpoint and hand back their
+	// best-so-far bisection, which is reported below as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctl := bisect.NewRunControl(ctx, *budget)
+
 	// Optional tracing: every pass/temperature/level event streams to
-	// the chosen sink; the driver's own summary event goes last.
+	// the chosen sink; the driver's own summary event goes last. File
+	// sinks are written atomically — the trace appears only on commit,
+	// never as a torn partial file.
 	var obs bisect.TraceObserver
 	var flushTrace func() error
+	var traceFile *fsx.AtomicFile
 	if *tracePath != "" {
-		w := os.Stdout
+		var w io.Writer = os.Stdout
 		if *tracePath != "-" {
-			tf, err := os.Create(*tracePath)
+			tf, err := fsx.NewAtomicFile(*tracePath, 0o644)
 			if err != nil {
-				return err
+				return false, err
 			}
-			defer tf.Close()
+			defer tf.Abort()
+			traceFile = tf
 			w = tf
 		}
 		switch *traceFormat {
@@ -101,7 +138,7 @@ func run() error {
 			c.Timing = *traceTiming
 			obs, flushTrace = c, c.Flush
 		default:
-			return fmt.Errorf("unknown -trace-format %q (want jsonl or csv)", *traceFormat)
+			return false, fmt.Errorf("unknown -trace-format %q (want jsonl or csv)", *traceFormat)
 		}
 	}
 
@@ -111,9 +148,14 @@ func run() error {
 		runtime.ReadMemStats(&memBefore)
 	}
 	t0 := time.Now()
-	best, err := bisect.BestOf{Inner: a, Starts: *starts, Observer: obs}.Bisect(g, r)
+	runner := bisect.WithControl(bisect.BestOf{Inner: a, Starts: *starts, Observer: obs}, ctl)
+	best, err := runner.Bisect(g, r)
 	if err != nil {
-		return err
+		if !bisect.IsStopError(err) || best == nil {
+			return false, err
+		}
+		interrupted = true
+		fmt.Fprintf(os.Stderr, "bisect: interrupted (%v); reporting best-so-far result\n", err)
 	}
 	elapsed := time.Since(t0)
 	if obs != nil {
@@ -126,7 +168,12 @@ func run() error {
 			AllocBytes: memAfter.TotalAlloc - memBefore.TotalAlloc,
 		})
 		if err := flushTrace(); err != nil {
-			return fmt.Errorf("writing trace: %v", err)
+			return false, fmt.Errorf("writing trace: %v", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Commit(); err != nil {
+				return false, fmt.Errorf("writing trace: %v", err)
+			}
 		}
 		if *tracePath != "-" {
 			fmt.Printf("trace written to %s (%s)\n", *tracePath, *traceFormat)
@@ -135,7 +182,7 @@ func run() error {
 
 	if *validate {
 		if err := best.Validate(); err != nil {
-			return fmt.Errorf("validation failed: %v", err)
+			return false, fmt.Errorf("validation failed: %v", err)
 		}
 	}
 	n0, n1 := best.CountSides()
@@ -145,19 +192,22 @@ func run() error {
 	fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))
 
 	if *out != "" {
-		of, err := os.Create(*out)
+		of, err := fsx.NewAtomicFile(*out, 0o644)
 		if err != nil {
-			return err
+			return false, err
 		}
-		defer of.Close()
+		defer of.Abort()
 		for v := int32(0); int(v) < g.N(); v++ {
 			if _, err := fmt.Fprintf(of, "%d %d\n", v, best.Side(v)); err != nil {
-				return err
+				return false, err
 			}
+		}
+		if err := of.Commit(); err != nil {
+			return false, err
 		}
 		fmt.Printf("assignment written to %s\n", *out)
 	}
-	return nil
+	return interrupted, nil
 }
 
 func detectFormat(explicit, path string) string {

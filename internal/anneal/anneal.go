@@ -28,6 +28,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/trace"
 )
 
@@ -90,6 +91,13 @@ type Options struct {
 	// Observers never draw from the random stream, so attaching one
 	// cannot change the run; nil costs nothing.
 	Observer trace.Observer
+	// Control, when non-nil, is polled once before every temperature.
+	// When it stops, Refine adopts the best state seen so far, rebalances
+	// it exactly as a frozen run would, and returns it together with the
+	// stop sentinel (see internal/runctl and docs/ROBUSTNESS.md). A run
+	// under checkpoint budget k is identical to an uncancelled run with
+	// MaxTemps = k; nil costs nothing.
+	Control *runctl.Control
 }
 
 // CoolingRule selects the temperature decrement rule.
@@ -261,7 +269,13 @@ func (w *Refiner) Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Sta
 	frozen := 0
 	trialsPerTemp := int64(o.SizeFactor) * int64(n)
 
+	var stopErr error
 	for t := 0; t < o.MaxTemps && frozen < o.FreezeLim; t++ {
+		if stopErr = o.Control.Check(); stopErr != nil {
+			// Fall through to the adopt-best-and-rebalance epilogue: a
+			// cancelled run ends exactly like a frozen one, just earlier.
+			break
+		}
 		var accepted int64
 		improvedBest := false
 		var tempStart time.Time
@@ -499,7 +513,7 @@ func (w *Refiner) Refine(b *partition.Bisection, opts Options, r *rng.Rand) (Sta
 			ElapsedNS: time.Since(runStart).Nanoseconds(),
 		})
 	}
-	return st, nil
+	return st, stopErr
 }
 
 // Run anneals from a fresh random balanced bisection of g.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,15 @@ type MultilevelOptions struct {
 	// workspace must not be shared across goroutines; nil allocates an
 	// ephemeral arena per run.
 	Workspace *Workspace
+	// Control, when non-nil, is polled once before every coarsening
+	// level. When it stops, coarsening halts where it stands and the
+	// driver still solves the coarsest graph reached and projects back up
+	// to the original graph (projection and balance repair are cheap and
+	// required for a valid result; per-level refinement is skipped), so
+	// Multilevel always returns a valid bisection of g together with the
+	// stop sentinel (see internal/runctl and docs/ROBUSTNESS.md). The
+	// inner bisector's own Control governs interruption inside a level.
+	Control *runctl.Control
 }
 
 func (o *MultilevelOptions) withDefaults() MultilevelOptions {
@@ -71,6 +81,7 @@ func (o *MultilevelOptions) withDefaults() MultilevelOptions {
 		out.Match = out.Workspace.RandomMaximal
 	}
 	out.Observer = o.Observer
+	out.Control = o.Control
 	return out
 }
 

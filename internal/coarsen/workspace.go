@@ -353,10 +353,16 @@ func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial Init
 	w.Reset()
 
 	// Coarsening phase. The level stack w.levels[0:nlv] plays the role of
-	// the original implementation's levels slice.
+	// the original implementation's levels slice. A stop request halts
+	// coarsening where it stands; the rest of the pipeline still runs
+	// (minus refinement) so the caller gets a valid fine-graph bisection.
+	var stopErr error
 	nlv := 0
 	cur := g
 	for nlv < o.MaxLevels && cur.N() > o.MinSize {
+		if stopErr = o.Control.Check(); stopErr != nil {
+			break
+		}
 		mate := o.Match(cur, r)
 		if matching.Size(mate) == 0 {
 			break
@@ -385,7 +391,7 @@ func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial Init
 		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
 	}
 	partition.RepairBalance(b, partition.MinAchievableImbalance(cur.TotalVertexWeight()))
-	if refine != nil {
+	if refine != nil && stopErr == nil {
 		refine(b, r)
 	}
 	if o.Observer != nil {
@@ -416,7 +422,7 @@ func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial Init
 		}
 		b = fine
 		partition.RepairBalance(b, partition.MinAchievableImbalance(b.Graph().TotalVertexWeight()))
-		if refine != nil {
+		if refine != nil && stopErr == nil {
 			refine(b, r)
 		}
 		if o.Observer != nil {
@@ -427,7 +433,7 @@ func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial Init
 			})
 		}
 	}
-	return b, nil
+	return b, stopErr
 }
 
 func growInt32(s []int32, n int) []int32 {

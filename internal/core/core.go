@@ -33,6 +33,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/spectral"
 	"repro/internal/trace"
 )
@@ -404,9 +405,16 @@ func (c Compacted) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, er
 	if c.Inner == nil {
 		return nil, fmt.Errorf("core: Compacted with nil inner bisector")
 	}
+	var stopErr error
 	initial := func(cg *graph.Graph, rr *rng.Rand) *partition.Bisection {
 		b, err := c.Inner.Bisect(cg, rr)
 		if err != nil {
+			if runctl.IsStop(err) && b != nil {
+				// Interrupted, not failed: the inner run's best-so-far is a
+				// valid coarse bisection — keep it and carry the sentinel.
+				stopErr = err
+				return b
+			}
 			return partition.NewRandom(cg, rr) // degrade gracefully
 		}
 		return b
@@ -421,11 +429,19 @@ func (c Compacted) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, er
 	if err != nil {
 		return nil, err
 	}
+	// The final refinement polls the same control through the inner
+	// bisector; an interrupted refinement leaves start at its last
+	// completed checkpoint, which is exactly the result we want to keep.
 	if err := c.Inner.Refine(start, r); err != nil {
-		return nil, err
+		if !runctl.IsStop(err) {
+			return nil, err
+		}
+		if stopErr == nil {
+			stopErr = err
+		}
 	}
 	partition.RepairBalance(start, partition.MinAchievableImbalance(g.TotalVertexWeight()))
-	return start, nil
+	return start, stopErr
 }
 
 // Multilevel runs the recursive-compaction pipeline with the inner
@@ -443,9 +459,14 @@ func (m Multilevel) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, e
 	if m.Inner == nil {
 		return nil, fmt.Errorf("core: Multilevel with nil inner bisector")
 	}
+	var stopErr error
 	initial := func(cg *graph.Graph, rr *rng.Rand) *partition.Bisection {
 		b, err := m.Inner.Bisect(cg, rr)
 		if err != nil {
+			if runctl.IsStop(err) && b != nil {
+				stopErr = err
+				return b
+			}
 			return partition.NewRandom(cg, rr)
 		}
 		return b
@@ -455,10 +476,15 @@ func (m Multilevel) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, e
 	}
 	b, err := coarsen.Multilevel(g, m.Opts, initial, refine, r)
 	if err != nil {
-		return nil, err
+		if !runctl.IsStop(err) || b == nil {
+			return nil, err
+		}
+		// The driver stopped mid-coarsening but still projected a valid
+		// bisection back to g; keep it and carry the sentinel.
+		stopErr = err
 	}
 	partition.RepairBalance(b, partition.MinAchievableImbalance(g.TotalVertexWeight()))
-	return b, nil
+	return b, stopErr
 }
 
 // BestOf runs the inner bisector k times on independent random streams
@@ -470,6 +496,11 @@ type BestOf struct {
 	// Observer, when non-nil, receives the inner runs' events (stamped
 	// with their start index) and a final run_done with the kept cut.
 	Observer trace.Observer
+	// Control, when non-nil, is polled (without consuming budget) between
+	// starts, and interrupted inner runs' best-so-far results stay in the
+	// running for the kept cut; WithControl sets it and shares the same
+	// control with the inner bisector.
+	Control *runctl.Control
 }
 
 // Name implements Bisector.
@@ -494,7 +525,17 @@ func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error
 	// for inner bisectors without reusable state).
 	base := WithWorkspace(b.Inner)
 	var best *partition.Bisection
+	var stopErr error
 	for i := 0; i < starts; i++ {
+		// Poll between starts, never before the first: an already-stopped
+		// control still yields one valid candidate from the inner run's
+		// own checkpoints. Err never consumes checkpoint budget, so the
+		// driver's polls don't perturb the leaf algorithms' accounting.
+		if i > 0 {
+			if stopErr = b.Control.Err(); stopErr != nil {
+				break
+			}
+		}
 		inner := base
 		if b.Observer != nil {
 			// Starts run sequentially on one stream, so events can flow
@@ -503,10 +544,16 @@ func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error
 		}
 		cand, err := inner.Bisect(g, r)
 		if err != nil {
-			return nil, err
+			if !runctl.IsStop(err) || cand == nil {
+				return nil, err
+			}
+			stopErr = err
 		}
 		if best == nil || cand.Cut() < best.Cut() {
 			best = cand
+		}
+		if stopErr != nil {
+			break
 		}
 	}
 	if b.Observer != nil && best != nil {
@@ -515,7 +562,7 @@ func (b BestOf) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, error
 			Cut: best.Cut(), BestCut: best.Cut(), Imbalance: best.Imbalance(),
 		})
 	}
-	return best, nil
+	return best, stopErr
 }
 
 // New returns the named algorithm with default options. Recognized names:

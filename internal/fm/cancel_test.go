@@ -1,0 +1,77 @@
+package fm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/runctl"
+)
+
+// A checkpoint budget of k must be indistinguishable from MaxPasses = k:
+// same sides, same cut, imbalance no worse than the start — the only
+// difference is the stop sentinel. Exercises every checkpoint index up
+// to the natural pass count.
+func TestControlBudgetEqualsMaxPasses(t *testing.T) {
+	g, err := gen.GNP(90, 0.1, rng.NewFib(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := partition.NewRandom(g, rng.NewFib(2))
+	startImb := full.Imbalance()
+	fullStats, err := Refine(full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.Passes < 2 {
+		t.Fatalf("want a multi-pass run to cancel into, got %d passes", fullStats.Passes)
+	}
+	for k := 1; k <= fullStats.Passes; k++ {
+		capped := partition.NewRandom(g, rng.NewFib(2))
+		if _, err := Refine(capped, Options{MaxPasses: k}); err != nil {
+			t.Fatal(err)
+		}
+		budgeted := partition.NewRandom(g, rng.NewFib(2))
+		_, err := Refine(budgeted, Options{Control: runctl.WithBudget(int64(k))})
+		if k < fullStats.Passes {
+			if !errors.Is(err, runctl.ErrBudgetExceeded) {
+				t.Fatalf("budget %d: err = %v, want ErrBudgetExceeded", k, err)
+			}
+		} else if err != nil {
+			t.Fatalf("budget %d: unexpected err %v", k, err)
+		}
+		if err := budgeted.Validate(); err != nil {
+			t.Fatalf("budget %d: invalid bisection: %v", k, err)
+		}
+		if imb := budgeted.Imbalance(); imb > startImb && imb > 2*int64(g.MaxVertexWeight()) {
+			t.Fatalf("budget %d: imbalance %d worse than start %d", k, imb, startImb)
+		}
+		if budgeted.Cut() != capped.Cut() || !bytes.Equal(budgeted.SidesRef(), capped.SidesRef()) {
+			t.Fatalf("budget %d diverges from MaxPasses=%d: cut %d vs %d", k, k, budgeted.Cut(), capped.Cut())
+		}
+	}
+}
+
+// A context cancelled before the run starts must return the bisection
+// untouched with the context's error.
+func TestPreCancelledContextReturnsStart(t *testing.T) {
+	g, err := gen.GNP(40, 0.2, rng.NewFib(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := partition.NewRandom(g, rng.NewFib(6))
+	want := b.Cut()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := Refine(b, Options{Control: runctl.FromContext(ctx)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Passes != 0 || b.Cut() != want {
+		t.Fatalf("cancelled run did work: %d passes, cut %d → %d", st.Passes, want, b.Cut())
+	}
+}

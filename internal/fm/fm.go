@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,13 @@ type Options struct {
 	// run_done trace events (see docs/OBSERVABILITY.md). Attaching one
 	// never changes the resulting bisection; nil costs nothing.
 	Observer trace.Observer
+	// Control, when non-nil, is polled once before every pass. When it
+	// stops, Refine returns the bisection as the last completed pass left
+	// it — valid, with imbalance no worse than it started — together with
+	// the stop sentinel (see internal/runctl and docs/ROBUSTNESS.md). A
+	// run under checkpoint budget k is identical to an uncancelled run
+	// with MaxPasses = k; nil costs nothing.
+	Control *runctl.Control
 }
 
 const safetyPassCap = 1000
@@ -115,7 +123,11 @@ func (w *Refiner) Refine(b *partition.Bisection, opts Options) (Stats, error) {
 	if obs != nil {
 		runStart = time.Now()
 	}
+	var stopErr error
 	for p := 0; p < limit; p++ {
+		if stopErr = opts.Control.Check(); stopErr != nil {
+			break
+		}
 		var passStart time.Time
 		if obs != nil {
 			passStart = time.Now()
@@ -149,7 +161,7 @@ func (w *Refiner) Refine(b *partition.Bisection, opts Options) (Stats, error) {
 			ElapsedNS: time.Since(runStart).Nanoseconds(),
 		})
 	}
-	return st, nil
+	return st, stopErr
 }
 
 // Run bisects g from a fresh random balanced bisection.

@@ -1,0 +1,115 @@
+// Package fsx holds the repository's crash-safe filesystem helpers.
+// Every artifact a run leaves behind — benchmark snapshots, harness
+// CSV/JSON exports, trace files, checkpoints — goes through the same
+// write-temp + fsync + rename protocol, so a crash (or SIGKILL) at any
+// instant leaves either the previous complete file or the new complete
+// file on disk, never a torn half-write. Stray temp files from killed
+// writers are ignorable (and are cleaned up by the next successful write
+// to the same path only incidentally — they carry unique suffixes).
+package fsx
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path atomically: the bytes land in a
+// temp file in path's directory, are fsynced, and the temp file is then
+// renamed over path (rename within one directory is atomic on POSIX
+// filesystems). The directory is fsynced afterwards so the rename itself
+// survives a crash. On any error the temp file is removed and the
+// previous contents of path are untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	f, err := NewAtomicFile(path, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}
+
+// AtomicFile is a streaming counterpart to WriteFileAtomic: writes go to
+// a hidden temp file until Commit fsyncs and renames it into place.
+// Abort (or Commit after a write error) discards the temp file and
+// leaves any previous file at the path untouched. Either Commit or Abort
+// must be called exactly once; Abort after a successful Commit is a
+// no-op, so `defer f.Abort()` is a safe cleanup pattern.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// NewAtomicFile opens a temp file in path's directory that Commit will
+// rename to path.
+func NewAtomicFile(path string, perm os.FileMode) (*AtomicFile, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write implements io.Writer on the temp file.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Commit fsyncs the temp file, renames it over the destination path, and
+// fsyncs the directory.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("fsx: AtomicFile for %s already finished", a.path)
+	}
+	a.done = true
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := os.Rename(a.f.Name(), a.path); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the temp file. Calling it after Commit is a no-op.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+// Filesystems that do not support fsync on directories make this a
+// best-effort no-op.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	// Some platforms/filesystems return EINVAL for Sync on a directory;
+	// the rename already happened, so degrade silently.
+	_ = d.Sync()
+	return nil
+}

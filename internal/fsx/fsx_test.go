@@ -1,0 +1,124 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	// No temp droppings after successful writes.
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileAtomicPerm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "locked")
+	if err := WriteFileAtomic(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("perm = %o, want 600", perm)
+	}
+}
+
+func TestAtomicFileAbortPreservesPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := WriteFileAtomic(path, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewAtomicFile(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-writ")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	got, _ := os.ReadFile(path)
+	if string(got) != "keep me" {
+		t.Fatalf("abort clobbered previous contents: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestAtomicFileAbortAfterCommitIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	f, err := NewAtomicFile(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort() // must not remove the committed file
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := f.Commit(); err == nil {
+		t.Fatal("double Commit accepted")
+	}
+}
+
+// A killed writer leaves a temp file behind; it must never be confused
+// with the real artifact, and a later atomic write must still succeed.
+func TestStrayTempFileDoesNotBlockWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	f, err := NewAtomicFile(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("orphaned")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate SIGKILL: neither Commit nor Abort runs.
+	if err := WriteFileAtomic(path, []byte("real"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "real" {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}

@@ -20,6 +20,18 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("graph -1 0\n")
 	f.Add("graph 99999999999999999999 0\n")
 	f.Add("graph 2 1\ne 0 1\ne 0 1\n")
+	// Truncated records and hostile headers: oversized or negative
+	// counts, ids that would wrap when narrowed to int32, and a header
+	// with the body cut off mid-record.
+	f.Add("graph 3")
+	f.Add("graph 3 2\ne 0")
+	f.Add("graph 3 2\ne 0 1\ne 1")
+	f.Add("graph 2 -1\n")
+	f.Add("graph 2 999999999999\n")
+	f.Add("graph 4194305 0\n")
+	f.Add("graph 2 1\ne 4294967296 1\n")
+	f.Add("graph 2 1\ne 0 1 4294967297\n")
+	f.Add("graph 2 1 vweights\nv 0 4294967298\ne 0 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadEdgeList(strings.NewReader(in))
 		if err != nil {
@@ -154,6 +166,16 @@ func FuzzReadMETIS(f *testing.F) {
 	f.Add("% comment\n1 0\n\n")
 	f.Add("0 0\n")
 	f.Add("x y\n")
+	// Truncated bodies and hostile headers: negative/oversized counts,
+	// neighbor ids past n or past int32, missing edge weights.
+	f.Add("3")
+	f.Add("3 2\n2\n1")
+	f.Add("2 -1\n")
+	f.Add("2 999999999999\n")
+	f.Add("4194305 0\n")
+	f.Add("3 1\n4294967298\n")
+	f.Add("3 1\n9\n")
+	f.Add("2 1 1\n2\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadMETIS(strings.NewReader(in))
 		if err != nil {
@@ -171,6 +193,9 @@ func FuzzUnmarshalGraph(f *testing.F) {
 	f.Add(`{}`)
 	f.Add(`{"n":-5}`)
 	f.Add(`[1,2,3]`)
+	f.Add(`{"n":4194305}`)
+	f.Add(`{"n":3,"edges":[[0,4294967296,1]]}`)
+	f.Add(`{"n":3,"edges":[[0,1`)
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := UnmarshalGraph([]byte(in))
 		if err != nil {

@@ -20,9 +20,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// MaxEdges bounds the edge count a parser will accept from a header
+// before reading the body, so hostile headers fail fast. 2²⁷ ≈ 134M
+// edges is far above any instance the repository generates.
+const MaxEdges = 1 << 27
+
+// parseID parses a vertex id (or any value that must fit in int32)
+// without silent truncation: values outside [0, int32 max] — including
+// 64-bit values that would wrap into range when converted — are errors.
+func parseID(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("value %d out of range", v)
+	}
+	return int32(v), nil
+}
 
 // WriteEdgeList writes g in the native edge-list format.
 func WriteEdgeList(w io.Writer, g *Graph) error {
@@ -89,6 +109,9 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad edge count: %v", line, err)
 			}
+			if m < 0 || m > MaxEdges {
+				return nil, fmt.Errorf("graph: line %d: edge count %d out of range [0,%d]", line, m, MaxEdges)
+			}
 			declaredM = m
 			b = NewBuilder(n)
 		case "v":
@@ -98,12 +121,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("graph: line %d: malformed vertex record %q", line, text)
 			}
-			v, err1 := strconv.Atoi(fields[1])
-			w, err2 := strconv.Atoi(fields[2])
+			v, err1 := parseID(fields[1])
+			w, err2 := parseID(fields[2])
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("graph: line %d: malformed vertex record %q", line, text)
 			}
-			b.SetVertexWeight(int32(v), int32(w))
+			b.SetVertexWeight(v, w)
 		case "e":
 			if b == nil {
 				return nil, fmt.Errorf("graph: line %d: edge record before header", line)
@@ -111,20 +134,20 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if len(fields) != 3 && len(fields) != 4 {
 				return nil, fmt.Errorf("graph: line %d: malformed edge record %q", line, text)
 			}
-			u, err1 := strconv.Atoi(fields[1])
-			v, err2 := strconv.Atoi(fields[2])
+			u, err1 := parseID(fields[1])
+			v, err2 := parseID(fields[2])
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("graph: line %d: malformed edge record %q", line, text)
 			}
-			w := 1
+			w := int32(1)
 			if len(fields) == 4 {
 				var err error
-				w, err = strconv.Atoi(fields[3])
+				w, err = parseID(fields[3])
 				if err != nil {
 					return nil, fmt.Errorf("graph: line %d: malformed edge weight %q", line, fields[3])
 				}
 			}
-			b.AddWeightedEdge(int32(u), int32(v), int32(w))
+			b.AddWeightedEdge(u, v, w)
 			seenM++
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown record type %q", line, fields[0])
@@ -218,6 +241,13 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: bad METIS vertex count: %v", err)
 			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad METIS edge count: %v", err)
+			}
+			if m < 0 || m > MaxEdges {
+				return nil, fmt.Errorf("graph: METIS edge count %d out of range [0,%d]", m, MaxEdges)
+			}
 			if len(fields) >= 3 {
 				switch fields[2] {
 				case "0", "00", "000":
@@ -245,32 +275,32 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			if len(fields) == 0 {
 				return nil, fmt.Errorf("graph: METIS vertex %d missing weight", v)
 			}
-			w, err := strconv.Atoi(fields[0])
+			w, err := parseID(fields[0])
 			if err != nil {
 				return nil, fmt.Errorf("graph: METIS vertex %d bad weight: %v", v, err)
 			}
-			b.SetVertexWeight(v, int32(w))
+			b.SetVertexWeight(v, w)
 			i = 1
 		}
 		for ; i < len(fields); i++ {
-			u, err := strconv.Atoi(fields[i])
-			if err != nil {
+			u, err := parseID(fields[i])
+			if err != nil || u < 1 || int(u) > n {
 				return nil, fmt.Errorf("graph: METIS vertex %d bad neighbor %q", v, fields[i])
 			}
-			w := 1
+			w := int32(1)
 			if hasEW {
 				i++
 				if i >= len(fields) {
 					return nil, fmt.Errorf("graph: METIS vertex %d neighbor %d missing edge weight", v, u)
 				}
-				w, err = strconv.Atoi(fields[i])
+				w, err = parseID(fields[i])
 				if err != nil {
 					return nil, fmt.Errorf("graph: METIS vertex %d bad edge weight %q", v, fields[i])
 				}
 			}
 			// Each edge appears twice; record it once.
-			if int32(u-1) > v {
-				b.AddWeightedEdge(v, int32(u-1), int32(w))
+			if u-1 > v {
+				b.AddWeightedEdge(v, u-1, w)
 			}
 		}
 		v++

@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/fsx"
+)
+
+// checkpointSchema versions the checkpoint file format. Bump it when the
+// header or cell layout changes; a resume against a different schema is
+// refused rather than misread.
+const checkpointSchema = 1
+
+// checkpointHeader is the first line of a checkpoint file: the campaign
+// identity a resume must match cell-for-cell. Seed, starts, and the
+// algorithm list (in column order) pin the random streams; the table ID
+// pins the row layout.
+type checkpointHeader struct {
+	Schema     int      `json:"schema"`
+	Table      string   `json:"table"`
+	Seed       uint64   `json:"seed"`
+	Starts     int      `json:"starts"`
+	Algorithms []string `json:"algorithms"`
+}
+
+// checkpointCell is one completed (row, instance) cell: the
+// best-of-starts cut and the wall-clock seconds for every algorithm.
+// Cells are only written once every algorithm has finished the instance
+// uninterrupted, so a resumed run can splice them verbatim.
+type checkpointCell struct {
+	Row   int                `json:"row"`
+	Inst  int                `json:"inst"`
+	Label string             `json:"label"`
+	Cuts  map[string]int64   `json:"cuts"`
+	Secs  map[string]float64 `json:"secs"`
+}
+
+type cellKey struct{ row, inst int }
+
+// Checkpoint persists harness progress across process deaths. Attach one
+// via Config.Checkpoint: after every completed (row, instance) cell the
+// runner rewrites the checkpoint file atomically (temp file + fsync +
+// rename, see internal/fsx), so the file on disk is always a complete,
+// parseable snapshot — a SIGKILL at any instant loses at most the cell
+// in flight. On the next Run with the same table and config, recorded
+// cells are spliced into the result instead of recomputed, and the
+// resumed TableResult is cell-for-cell identical to an uninterrupted
+// run (recorded wall-clock seconds are spliced too). See
+// docs/ROBUSTNESS.md for the file format.
+//
+// A Checkpoint is safe for concurrent use by parallel rows but belongs
+// to one Run at a time.
+type Checkpoint struct {
+	path string
+
+	mu     sync.Mutex
+	primed bool
+	hdr    checkpointHeader
+	cells  map[cellKey]checkpointCell
+}
+
+// NewCheckpoint returns a checkpoint handle backed by path. The file is
+// not touched until Run loads or records through it.
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, cells: map[cellKey]checkpointCell{}}
+}
+
+// Path returns the backing file path.
+func (cp *Checkpoint) Path() string { return cp.path }
+
+// Cells returns the number of completed cells currently recorded —
+// after Run, the campaign's progress; after prime, how much a resume
+// will skip.
+func (cp *Checkpoint) Cells() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.cells)
+}
+
+// prime binds the checkpoint to a campaign identity and loads any
+// previously recorded cells. A file written by a different campaign
+// (table, seed, starts, or algorithm set) or an unknown schema is an
+// error: splicing its cells would silently corrupt the table.
+func (cp *Checkpoint) prime(hdr checkpointHeader) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.primed {
+		if !headerEqual(cp.hdr, hdr) {
+			return fmt.Errorf("harness: checkpoint %s already bound to table %q", cp.path, cp.hdr.Table)
+		}
+		return nil
+	}
+	cp.hdr = hdr
+	cp.cells = map[cellKey]checkpointCell{}
+	data, err := os.ReadFile(cp.path)
+	if os.IsNotExist(err) {
+		cp.primed = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("harness: reading checkpoint: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		// Empty file (e.g. created by a shell redirect): treat as fresh.
+		cp.primed = true
+		return nil
+	}
+	var have checkpointHeader
+	if err := json.Unmarshal(sc.Bytes(), &have); err != nil {
+		return fmt.Errorf("harness: checkpoint %s: bad header: %w", cp.path, err)
+	}
+	if have.Schema != checkpointSchema {
+		return fmt.Errorf("harness: checkpoint %s has schema %d, this build reads %d", cp.path, have.Schema, checkpointSchema)
+	}
+	if !headerEqual(have, hdr) {
+		return fmt.Errorf("harness: checkpoint %s belongs to a different campaign (table %q seed %d starts %d algorithms %v; want table %q seed %d starts %d algorithms %v)",
+			cp.path, have.Table, have.Seed, have.Starts, have.Algorithms, hdr.Table, hdr.Seed, hdr.Starts, hdr.Algorithms)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var cell checkpointCell
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+			return fmt.Errorf("harness: checkpoint %s line %d: %w", cp.path, line, err)
+		}
+		if !cellComplete(cell, hdr.Algorithms) {
+			return fmt.Errorf("harness: checkpoint %s line %d: cell (%d,%d) is missing algorithms", cp.path, line, cell.Row, cell.Inst)
+		}
+		cp.cells[cellKey{cell.Row, cell.Inst}] = cell
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("harness: checkpoint %s: %w", cp.path, err)
+	}
+	cp.primed = true
+	return nil
+}
+
+// lookup returns the recorded cell for (row, inst), if any.
+func (cp *Checkpoint) lookup(row, inst int) (checkpointCell, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cell, ok := cp.cells[cellKey{row, inst}]
+	return cell, ok
+}
+
+// record stores a completed cell and atomically rewrites the file so the
+// on-disk snapshot always parses in full.
+func (cp *Checkpoint) record(cell checkpointCell) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.cells[cellKey{cell.Row, cell.Inst}] = cell
+	return cp.flushLocked()
+}
+
+func (cp *Checkpoint) flushLocked() error {
+	keys := make([]cellKey, 0, len(cp.cells))
+	for k := range cp.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].row != keys[j].row {
+			return keys[i].row < keys[j].row
+		}
+		return keys[i].inst < keys[j].inst
+	})
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(cp.hdr); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := enc.Encode(cp.cells[k]); err != nil {
+			return err
+		}
+	}
+	if err := fsx.WriteFileAtomic(cp.path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+func headerEqual(a, b checkpointHeader) bool {
+	if a.Table != b.Table || a.Seed != b.Seed || a.Starts != b.Starts || len(a.Algorithms) != len(b.Algorithms) {
+		return false
+	}
+	for i := range a.Algorithms {
+		if a.Algorithms[i] != b.Algorithms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cellComplete(cell checkpointCell, algorithms []string) bool {
+	for _, name := range algorithms {
+		if _, ok := cell.Cuts[name]; !ok {
+			return false
+		}
+		if _, ok := cell.Secs[name]; !ok {
+			return false
+		}
+	}
+	return true
+}

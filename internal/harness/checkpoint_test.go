@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/runctl"
+)
+
+func ckptTable(rows, instances, n int) Table {
+	specs := make([]GraphSpec, rows)
+	for i := range specs {
+		p := 0.04 + 0.01*float64(i)
+		specs[i] = GraphSpec{
+			Label:     fmt.Sprintf("row%d", i),
+			Expected:  -1,
+			Instances: instances,
+			Generate: func(r *rng.Rand) (*graph.Graph, error) {
+				return gen.GNP(n, p, r)
+			},
+		}
+	}
+	return Table{ID: "CKPT", Title: "checkpoint test table", Specs: specs}
+}
+
+func ckptConfig() Config {
+	return Config{
+		Seed:       7,
+		Starts:     2,
+		Algorithms: []core.Bisector{core.KL{}, core.Compacted{Inner: core.KL{}}},
+	}
+}
+
+func sameCuts(t *testing.T, a, b *TableResult) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if len(ra.Cells) != len(rb.Cells) {
+			t.Fatalf("row %d: cell counts differ", i)
+		}
+		for name, ca := range ra.Cells {
+			cb, ok := rb.Cells[name]
+			if !ok {
+				t.Fatalf("row %d: %s missing", i, name)
+			}
+			if ca.Cut != cb.Cut || ca.CutStd != cb.CutStd {
+				t.Fatalf("row %d %s: cut %v±%v vs %v±%v", i, name, ca.Cut, ca.CutStd, cb.Cut, cb.CutStd)
+			}
+		}
+		if !reflect.DeepEqual(ra.CutImprovement, rb.CutImprovement) {
+			t.Fatalf("row %d: improvement columns differ", i)
+		}
+	}
+}
+
+// A campaign interrupted by a budget and resumed from its checkpoint
+// must reproduce the uninterrupted campaign's cut columns cell for cell,
+// and a second resume (everything spliced) must reproduce the first
+// resume's TableResult exactly — including the recorded Seconds.
+func TestCheckpointResumeDeterministic(t *testing.T) {
+	table := ckptTable(2, 3, 60)
+	ref, err := Run(table, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	// Interrupted leg: a small checkpoint budget stops mid-campaign.
+	cfg := ckptConfig()
+	cfg.Control = runctl.WithBudget(40)
+	cfg.Checkpoint = NewCheckpoint(path)
+	partial, err := Run(table, cfg)
+	if !runctl.IsStop(err) {
+		t.Fatalf("err = %v, want a stop sentinel", err)
+	}
+	if partial == nil {
+		t.Fatal("interrupted run returned no partial result")
+	}
+	done := cfg.Checkpoint.Cells()
+	if done == 0 || done == 6 {
+		t.Fatalf("budget landed at %d of 6 cells; want a strict partial", done)
+	}
+
+	// Resume leg: recorded cells splice in, the rest recompute.
+	cfg2 := ckptConfig()
+	cfg2.Checkpoint = NewCheckpoint(path)
+	resumed, err := Run(table, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Checkpoint.Cells() != 6 {
+		t.Fatalf("resume completed %d of 6 cells", cfg2.Checkpoint.Cells())
+	}
+	sameCuts(t, ref, resumed)
+
+	// Full-splice leg: every cell comes from the file, so the result —
+	// Seconds included — matches the resumed run exactly.
+	cfg3 := ckptConfig()
+	cfg3.Checkpoint = NewCheckpoint(path)
+	spliced, err := Run(table, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, spliced) {
+		t.Fatal("pure-splice rerun differs from the run that wrote the checkpoint")
+	}
+}
+
+// Parallel rows share one checkpoint; resuming sequentially must still
+// agree with a sequential reference run.
+func TestCheckpointParallelRows(t *testing.T) {
+	table := ckptTable(3, 2, 50)
+	ref, err := Run(table, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cfg := ckptConfig()
+	cfg.Parallel = 3
+	cfg.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := ckptConfig()
+	cfg2.Checkpoint = NewCheckpoint(path)
+	resumed, err := Run(table, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCuts(t, ref, resumed)
+}
+
+// A checkpoint from a different campaign must be refused, not spliced.
+func TestCheckpointRejectsForeignCampaign(t *testing.T) {
+	table := ckptTable(1, 2, 40)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cfg := ckptConfig()
+	cfg.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Config, *Table){
+		func(c *Config, _ *Table) { c.Seed = 8 },
+		func(c *Config, _ *Table) { c.Starts = 3 },
+		func(c *Config, _ *Table) { c.Algorithms = []core.Bisector{core.KL{}} },
+		func(_ *Config, tb *Table) { tb.ID = "OTHER" },
+	} {
+		c2, t2 := ckptConfig(), table
+		mutate(&c2, &t2)
+		c2.Checkpoint = NewCheckpoint(path)
+		if _, err := Run(t2, c2); err == nil || !strings.Contains(err.Error(), "different campaign") {
+			t.Fatalf("foreign checkpoint accepted: %v", err)
+		}
+	}
+}
+
+// An unparseable header is an error, not a silent fresh start.
+func TestCheckpointRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ckptConfig()
+	cfg.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(ckptTable(1, 1, 40), cfg); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func killHelperTable() Table { return ckptTable(2, 8, 300) }
+
+func killHelperConfig(path string) Config {
+	cfg := Config{
+		Seed:   11,
+		Starts: 2,
+		Algorithms: []core.Bisector{
+			core.SA{Opts: anneal.Options{SizeFactor: 4, TempFactor: 0.9, FreezeLim: 3, MaxTemps: 400}},
+			core.KL{},
+		},
+	}
+	if path != "" {
+		cfg.Checkpoint = NewCheckpoint(path)
+	}
+	return cfg
+}
+
+// TestCheckpointKillHelper is the victim process of
+// TestCheckpointSurvivesSIGKILL; it only runs when re-executed with the
+// harness environment set.
+func TestCheckpointKillHelper(t *testing.T) {
+	path := os.Getenv("HARNESS_CKPT")
+	if os.Getenv("HARNESS_KILL_HELPER") != "1" || path == "" {
+		t.Skip("helper process for TestCheckpointSurvivesSIGKILL")
+	}
+	if _, err := Run(killHelperTable(), killHelperConfig(path)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Kill a checkpointing campaign with SIGKILL mid-run — no deferred
+// cleanup, no signal handler — then resume from whatever the atomic
+// writes left behind. The resumed campaign must complete and agree cut
+// for cut with an uninterrupted run.
+func TestCheckpointSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+	cmd := exec.Command(os.Args[0], "-test.run=TestCheckpointKillHelper$")
+	cmd.Env = append(os.Environ(), "HARNESS_KILL_HELPER=1", "HARNESS_CKPT="+path)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+
+	// Wait until at least two cells are on disk, then pull the plug.
+	deadline := time.Now().Add(60 * time.Second)
+	killed := false
+	for time.Now().Before(deadline) {
+		select {
+		case <-exited:
+			// The helper finished before we killed it; the resume below
+			// then splices a complete checkpoint, which is still a valid
+			// (if weaker) pass. Slower machines kill mid-run.
+			t.Log("helper completed before SIGKILL")
+			deadline = time.Now()
+		default:
+		}
+		if !killed && checkpointCellsOnDisk(t, path) >= 2 {
+			if err := cmd.Process.Kill(); err == nil {
+				killed = true
+				<-exited
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !killed {
+		select {
+		case <-exited:
+		default:
+			cmd.Process.Kill()
+			<-exited
+		}
+	}
+	cells := checkpointCellsOnDisk(t, path)
+	if cells < 2 {
+		t.Fatalf("only %d cells on disk after kill", cells)
+	}
+
+	resumedCfg := killHelperConfig(path)
+	resumed, err := Run(killHelperTable(), resumedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(killHelperTable(), killHelperConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCuts(t, ref, resumed)
+}
+
+// checkpointCellsOnDisk counts complete cell lines in the file; the
+// atomic writer guarantees the file is either absent or fully formed.
+func checkpointCellsOnDisk(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines == 0 {
+		return 0
+	}
+	return lines - 1 // minus the header
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -82,6 +83,19 @@ type Config struct {
 	// stream is identical for sequential and parallel runs of the same
 	// seed. A nil Observer adds no work.
 	Observer trace.Observer
+	// Control, when non-nil, makes the campaign interruptible: the runner
+	// polls it (without consuming checkpoint budget) before every
+	// (row, instance) cell and shares it with every algorithm run, so a
+	// cancellation stops work within one algorithm checkpoint. Run then
+	// returns the partial TableResult built from the cells that completed,
+	// together with the stop sentinel (runctl.IsStop reports true).
+	// Interrupted cells are discarded, never half-aggregated.
+	Control *runctl.Control
+	// Checkpoint, when non-nil, persists every completed (row, instance)
+	// cell to disk and splices previously recorded cells into the result
+	// instead of recomputing them — see Checkpoint. Cells skipped on
+	// resume re-emit no trace events.
+	Checkpoint *Checkpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -150,12 +164,20 @@ type TableResult struct {
 	Rows       []RowResult
 }
 
-// Run executes the table under the config.
+// Run executes the table under the config. With Config.Control, an
+// interrupted campaign returns the partial TableResult alongside the
+// stop sentinel; any other non-nil error means the result is unusable.
 func Run(t Table, cfg Config) (*TableResult, error) {
 	c := cfg.withDefaults()
 	names := make([]string, len(c.Algorithms))
 	for i, a := range c.Algorithms {
 		names[i] = a.Name()
+	}
+	if c.Checkpoint != nil {
+		hdr := checkpointHeader{Schema: checkpointSchema, Table: t.ID, Seed: c.Seed, Starts: c.Starts, Algorithms: names}
+		if err := c.Checkpoint.prime(hdr); err != nil {
+			return nil, err
+		}
 	}
 	res := &TableResult{ID: t.ID, Title: t.Title, Algorithms: names}
 	res.Rows = make([]RowResult, len(t.Specs))
@@ -174,10 +196,18 @@ func Run(t Table, cfg Config) (*TableResult, error) {
 			}(rowIdx, spec)
 		}
 		wg.Wait()
+		var stopErr error
 		for rowIdx, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, t.Specs[rowIdx].Label, err)
+			if err == nil {
+				continue
 			}
+			if runctl.IsStop(err) {
+				if stopErr == nil {
+					stopErr = err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, t.Specs[rowIdx].Label, err)
 		}
 		// Row buffers replay in table order after the join, so the
 		// merged stream does not depend on row scheduling.
@@ -186,16 +216,19 @@ func Run(t Table, cfg Config) (*TableResult, error) {
 				rec.ReplayTo(c.Observer)
 			}
 		}
-		return res, nil
+		return res, stopErr
 	}
 	for rowIdx, spec := range t.Specs {
 		row, rec, err := runRow(spec, rowIdx, c)
-		if err != nil {
+		if err != nil && !runctl.IsStop(err) {
 			return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, spec.Label, err)
 		}
 		res.Rows[rowIdx] = row
 		if rec != nil {
 			rec.ReplayTo(c.Observer)
+		}
+		if err != nil {
+			return res, err
 		}
 	}
 	return res, nil
@@ -219,14 +252,36 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 	}
 	// One reusable workspace per (row, algorithm): rows may run on
 	// separate goroutines, so workspaces are never shared across rows,
-	// but within a row every instance and start reuses the same one.
+	// but within a row every instance and start reuses the same one. The
+	// shared control (if any) rides along so cancellation reaches every
+	// algorithm's own checkpoints.
 	algs := make([]core.Bisector, len(c.Algorithms))
 	for i, alg := range c.Algorithms {
-		algs[i] = core.WithWorkspace(alg)
+		algs[i] = core.WithWorkspace(core.WithControl(alg, c.Control))
 	}
 	cuts := map[string][]int64{}
 	secs := map[string][]float64{}
+	var stopErr error
+instances:
 	for inst := 0; inst < instances; inst++ {
+		// A stopped control abandons the campaign at the cell boundary;
+		// Err never consumes checkpoint budget, so the harness polls do
+		// not perturb the algorithms' own budget accounting.
+		if stopErr = c.Control.Err(); stopErr != nil {
+			break
+		}
+		if c.Checkpoint != nil {
+			if cell, ok := c.Checkpoint.lookup(rowIdx, inst); ok {
+				// Splice the recorded cell: the random stream for every
+				// other cell is derived independently from (seed, row,
+				// instance), so skipping this one shifts nothing.
+				for _, alg := range c.Algorithms {
+					cuts[alg.Name()] = append(cuts[alg.Name()], cell.Cuts[alg.Name()])
+					secs[alg.Name()] = append(secs[alg.Name()], cell.Secs[alg.Name()])
+				}
+				continue
+			}
+		}
 		// One deterministic stream per (row, instance) for generation,
 		// split into per-algorithm streams so algorithms see identical
 		// graphs but independent randomness.
@@ -242,6 +297,12 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 		if err != nil {
 			return RowResult{}, nil, err
 		}
+		// Stage the instance locally and commit it only when every
+		// algorithm finished uninterrupted: a cancelled cell must never
+		// be half-aggregated or checkpointed, because its cuts differ
+		// from what an uncancelled run would record.
+		instCuts := map[string]int64{}
+		instSecs := map[string]float64{}
 		for algIdx, alg := range c.Algorithms {
 			ar := base.Split()
 			start := time.Now()
@@ -253,6 +314,10 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 				}
 				b, err := a.Bisect(g, ar)
 				if err != nil {
+					if runctl.IsStop(err) {
+						stopErr = err
+						break instances
+					}
 					return RowResult{}, nil, fmt.Errorf("%s: %v", alg.Name(), err)
 				}
 				if b.Cut() < best {
@@ -267,8 +332,18 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 					ElapsedNS: int64(elapsed * 1e9),
 				})
 			}
-			cuts[alg.Name()] = append(cuts[alg.Name()], best)
-			secs[alg.Name()] = append(secs[alg.Name()], elapsed)
+			instCuts[alg.Name()] = best
+			instSecs[alg.Name()] = elapsed
+		}
+		for _, alg := range c.Algorithms {
+			cuts[alg.Name()] = append(cuts[alg.Name()], instCuts[alg.Name()])
+			secs[alg.Name()] = append(secs[alg.Name()], instSecs[alg.Name()])
+		}
+		if c.Checkpoint != nil {
+			cell := checkpointCell{Row: rowIdx, Inst: inst, Label: spec.Label, Cuts: instCuts, Secs: instSecs}
+			if err := c.Checkpoint.record(cell); err != nil {
+				return RowResult{}, nil, err
+			}
 		}
 	}
 	row := RowResult{
@@ -298,7 +373,7 @@ func runRow(spec GraphSpec, rowIdx int, c Config) (RowResult, *trace.Recorder, e
 			row.SpeedUp[name] = stats.SpeedUp(cell.Seconds, comp.Seconds)
 		}
 	}
-	return row, rec, nil
+	return row, rec, stopErr
 }
 
 // mix hashes (seed, row, instance) into an independent stream seed.

@@ -1,0 +1,80 @@
+package kl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/runctl"
+)
+
+// A checkpoint budget of k must be indistinguishable from MaxPasses = k:
+// same sides, same cut, valid and balanced — the only difference is the
+// stop sentinel. Exercises every checkpoint index up to the natural pass
+// count.
+func TestControlBudgetEqualsMaxPasses(t *testing.T) {
+	g, err := gen.GNP(80, 0.12, rng.NewFib(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := partition.NewRandom(g, rng.NewFib(9))
+	fullStats, err := Refine(full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullStats.Passes < 2 {
+		t.Fatalf("want a multi-pass run to cancel into, got %d passes", fullStats.Passes)
+	}
+	for k := 1; k <= fullStats.Passes; k++ {
+		capped := partition.NewRandom(g, rng.NewFib(9))
+		if _, err := Refine(capped, Options{MaxPasses: k}); err != nil {
+			t.Fatal(err)
+		}
+		budgeted := partition.NewRandom(g, rng.NewFib(9))
+		st, err := Refine(budgeted, Options{Control: runctl.WithBudget(int64(k))})
+		if k < fullStats.Passes {
+			if !errors.Is(err, runctl.ErrBudgetExceeded) {
+				t.Fatalf("budget %d: err = %v, want ErrBudgetExceeded", k, err)
+			}
+		} else if err != nil {
+			// The run converged before the budget ran out.
+			t.Fatalf("budget %d: unexpected err %v", k, err)
+		}
+		if st.Passes != k && err != nil {
+			t.Fatalf("budget %d ran %d passes", k, st.Passes)
+		}
+		if err := budgeted.Validate(); err != nil {
+			t.Fatalf("budget %d: invalid bisection: %v", k, err)
+		}
+		if budgeted.Cut() != capped.Cut() || !bytes.Equal(budgeted.SidesRef(), capped.SidesRef()) {
+			t.Fatalf("budget %d diverges from MaxPasses=%d: cut %d vs %d", k, k, budgeted.Cut(), capped.Cut())
+		}
+	}
+}
+
+// A context cancelled before the run starts must return the bisection
+// untouched, still valid, with the context's error.
+func TestPreCancelledContextReturnsStart(t *testing.T) {
+	g, err := gen.GNP(40, 0.2, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := partition.NewRandom(g, rng.NewFib(4))
+	want := b.Cut()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := Refine(b, Options{Control: runctl.FromContext(ctx)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Passes != 0 || b.Cut() != want {
+		t.Fatalf("cancelled run did work: %d passes, cut %d → %d", st.Passes, want, b.Cut())
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
 	"repro/internal/trace"
 )
 
@@ -61,6 +62,13 @@ type Options struct {
 	// touch the random stream, so attaching one cannot change the
 	// resulting bisection; nil costs nothing.
 	Observer trace.Observer
+	// Control, when non-nil, is polled once before every pass. When it
+	// stops, Refine returns the bisection as the last completed pass left
+	// it — always valid and balanced, KL only exchanges opposite-side
+	// pairs — together with the stop sentinel (see internal/runctl and
+	// docs/ROBUSTNESS.md). A run under checkpoint budget k is identical
+	// to an uncancelled run with MaxPasses = k; nil costs nothing.
+	Control *runctl.Control
 }
 
 // safetyPassCap bounds the pass loop when MaxPasses is 0. Each counted
@@ -173,7 +181,11 @@ func (w *Refiner) Refine(b *partition.Bisection, opts Options) (Stats, error) {
 	if obs != nil {
 		runStart = time.Now()
 	}
+	var stopErr error
 	for p := 0; p < limit; p++ {
+		if stopErr = opts.Control.Check(); stopErr != nil {
+			break
+		}
 		var passStart time.Time
 		if obs != nil {
 			passStart = time.Now()
@@ -207,7 +219,7 @@ func (w *Refiner) Refine(b *partition.Bisection, opts Options) (Stats, error) {
 			ElapsedNS: time.Since(runStart).Nanoseconds(),
 		})
 	}
-	return st, nil
+	return st, stopErr
 }
 
 // Run bisects g from a fresh random balanced bisection.

@@ -1,0 +1,134 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestNilControlNeverStops(t *testing.T) {
+	var c *Control
+	for i := 0; i < 100; i++ {
+		if err := c.Check(); err != nil {
+			t.Fatalf("nil control stopped: %v", err)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil control Err: %v", err)
+	}
+}
+
+func TestNewCollapsesToNil(t *testing.T) {
+	if c := New(nil, 0); c != nil {
+		t.Fatal("New(nil, 0) should be nil")
+	}
+	if c := New(context.Background(), 0); c != nil {
+		t.Fatal("never-cancelled ctx with no budget should be nil")
+	}
+	if c := WithBudget(0); c != nil {
+		t.Fatal("WithBudget(0) should be nil")
+	}
+	if c := WithBudget(-5); c != nil {
+		t.Fatal("WithBudget(-5) should be nil")
+	}
+}
+
+func TestBudgetExhaustsDeterministically(t *testing.T) {
+	for _, n := range []int64{1, 2, 7} {
+		c := WithBudget(n)
+		for i := int64(0); i < n; i++ {
+			if err := c.Check(); err != nil {
+				t.Fatalf("budget %d: poll %d failed early: %v", n, i, err)
+			}
+			if i < n-1 && c.Err() != nil {
+				t.Fatalf("budget %d: Err fired before exhaustion", n)
+			}
+		}
+		if err := c.Check(); !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("budget %d: poll %d = %v, want ErrBudgetExceeded", n, n, err)
+		}
+		if err := c.Err(); !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("budget %d: Err after exhaustion = %v", n, err)
+		}
+		// Exhaustion is sticky.
+		if err := c.Check(); !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("budget %d: exhaustion not sticky: %v", n, err)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := FromContext(ctx)
+	if c == nil {
+		t.Fatal("cancellable ctx produced nil control")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatalf("pre-cancel Check: %v", err)
+	}
+	cancel()
+	if err := c.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Check = %v", err)
+	}
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Err = %v", err)
+	}
+}
+
+func TestCancellationBeatsBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(ctx, 1000)
+	cancel()
+	if err := c.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check = %v, want Canceled despite remaining budget", err)
+	}
+}
+
+func TestSharedBudgetIsJoint(t *testing.T) {
+	const budget, workers = 1000, 8
+	c := WithBudget(budget)
+	var wg sync.WaitGroup
+	var stops [workers]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < budget; i++ {
+				if c.Check() != nil {
+					stops[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, s := range stops {
+		total += s
+	}
+	// workers*budget polls against a joint budget of `budget` leave
+	// exactly (workers-1)*budget failing polls.
+	if want := (workers - 1) * budget; total != want {
+		t.Fatalf("joint budget: %d failing polls, want %d", total, want)
+	}
+}
+
+func TestIsStop(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrBudgetExceeded, true},
+		{context.Canceled, true},
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("start 3: %w", ErrBudgetExceeded), true},
+		{errors.New("disk on fire"), false},
+	}
+	for _, tc := range cases {
+		if got := IsStop(tc.err); got != tc.want {
+			t.Fatalf("IsStop(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

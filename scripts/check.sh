@@ -30,11 +30,27 @@ echo "==> go test -race ./..."
 go test -race ./...
 
 # The parallel paths (N goroutines annealing over per-chain workspaces;
-# parallel multi-start over per-worker compaction arenas) get extra
+# parallel multi-start over per-worker compaction arenas; the poisoned-
+# start recovery path, where one panicking start must neither deadlock
+# the pool nor corrupt the survivors' aggregation) get extra
 # race-detector exercise beyond the single pass the full run gives
 # them: repeated runs vary goroutine interleavings.
 echo "==> go test -race -count=3 -run 'TestParallel' ./internal/core/"
 go test -race -count=3 -run 'TestParallel' ./internal/core/
+
+# Crash-safety integration gate: a checkpointing campaign killed with
+# SIGKILL mid-run (subprocess, no handlers) must resume from the atomic
+# checkpoint file and agree cut-for-cut with an uninterrupted run.
+echo "==> go test -run 'TestCheckpointSurvivesSIGKILL' ./internal/harness/ (kill-and-resume gate)"
+go test -count=1 -run 'TestCheckpointSurvivesSIGKILL' ./internal/harness/
+
+# Parser robustness: a short fuzz smoke per reader. Malformed input must
+# error — never panic, never wrap ids into range, never OOM (go test
+# runs the seed corpora; the smoke explores a little beyond them).
+for target in FuzzReadEdgeList FuzzReadMETIS FuzzUnmarshalGraph; do
+  echo "==> go test -fuzz=$target -fuzztime=10s ./internal/graph/"
+  go test -run "^$target\$" -fuzz="^$target\$" -fuzztime=10s ./internal/graph/
+done
 
 # The compaction arena's zero-alloc contract: matching, contraction,
 # and the full warm compact/project cycle must not touch the heap in
@@ -65,4 +81,4 @@ if [ -n "$baseline" ]; then
   go run ./cmd/benchdiff "$baseline" "$out"
 fi
 
-echo "OK: vet, build, race tests, and quick benchmarks all passed"
+echo "OK: vet, build, race tests, kill-and-resume, fuzz smoke, and quick benchmarks all passed"
