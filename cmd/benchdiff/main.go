@@ -20,7 +20,15 @@
 // Series present in only one snapshot are listed as ADDED or REMOVED
 // and excluded from the pass/fail decision — the suite grows over time
 // and new rows must not read as regressions. Only an empty intersection
-// is an error.
+// of *algorithm* series is an error.
+//
+// Service-latency series (names starting with "svc_", produced by
+// cmd/bisectd/bisectload — BENCH_5.json) are always informational:
+// their ns/op is end-to-end wall-clock under hundreds of concurrent
+// clients, which varies with the machine's scheduler far beyond any
+// sensible tolerance. benchdiff prints their throughput and p50/p95/p99
+// but never fails on them, and a snapshot holding only service series
+// does not trip the empty-intersection error.
 //
 // scripts/check.sh uses this to gate tier-2 on BENCH_(N-1) → BENCH_N.
 package main
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type benchRow struct {
@@ -39,7 +48,16 @@ type benchRow struct {
 	BytesOp  int64   `json:"bytes_per_op"`
 	AllocsOp int64   `json:"allocs_per_op"`
 	Metric   float64 `json:"metric,omitempty"`
+	// Service-latency fields (cmd/bisectd/bisectload snapshots).
+	P50NS         float64 `json:"p50_ns,omitempty"`
+	P95NS         float64 `json:"p95_ns,omitempty"`
+	P99NS         float64 `json:"p99_ns,omitempty"`
+	ThroughputRPS float64 `json:"throughput_rps,omitempty"`
 }
+
+// isService reports whether a row is a service-latency series, which is
+// reported but never gated on.
+func isService(name string) bool { return strings.HasPrefix(name, "svc_") }
 
 type snapshot struct {
 	Schema     string     `json:"schema"`
@@ -96,9 +114,24 @@ func main() {
 	sort.Strings(names)
 	sort.Strings(added)
 	sort.Strings(removed)
+	nonService := func(rows map[string]benchRow) int {
+		c := 0
+		for name := range rows {
+			if !isService(name) {
+				c++
+			}
+		}
+		return c
+	}
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmark series")
-		os.Exit(2)
+		// An empty intersection is only an error between two algorithm
+		// snapshots; an algorithm snapshot vs a service-latency snapshot
+		// (BENCH_4 → BENCH_5) legitimately shares nothing.
+		if nonService(oldRows) > 0 && nonService(newRows) > 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmark series")
+			os.Exit(2)
+		}
+		fmt.Println("benchdiff: no shared series (service-latency snapshot); nothing to gate on")
 	}
 
 	failed := false
@@ -108,6 +141,12 @@ func main() {
 		delta := 0.0
 		if o.NsPerOp > 0 {
 			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		if isService(name) {
+			// Wall-clock latency under concurrency: reported, never gated.
+			fmt.Printf("%-34s %14.0f %14.0f %+7.1f%%   p99 %.1fms → %.1fms  SERVICE (informational)\n",
+				name, o.NsPerOp, n.NsPerOp, delta*100, o.P99NS/1e6, n.P99NS/1e6)
+			continue
 		}
 		mark := ""
 		if delta > *tol {
@@ -130,6 +169,11 @@ func main() {
 	// regression. They are excluded from the pass/fail decision.
 	for _, name := range added {
 		n := newRows[name]
+		if isService(name) {
+			fmt.Printf("%-34s %14s %14.0f %8s   %.1f jobs/s, p50 %.1fms p95 %.1fms p99 %.1fms  ADDED (service)\n",
+				name, "-", n.NsPerOp, "-", n.ThroughputRPS, n.P50NS/1e6, n.P95NS/1e6, n.P99NS/1e6)
+			continue
+		}
 		fmt.Printf("%-34s %14s %14.0f %8s %6s → %-4d  ADDED\n", name, "-", n.NsPerOp, "-", "-", n.AllocsOp)
 	}
 	for _, name := range removed {

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRestartRecovery pins docs/SERVICE.md "Persistence format": after a
+// daemon restart on the same state directory, terminal jobs keep serving
+// their full results without re-running, unfinished jobs (queued or
+// running at shutdown) are re-queued and re-run to deterministic
+// results, and persisted graphs remain resolvable.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t, 300, 4, 31)
+
+	srv1, err := New(Config{StateDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	ref := uploadGraph(t, ts1, g)
+
+	// A quick job runs to completion before the restart.
+	idDone := submitJob(t, ts1, map[string]any{"graph": ref, "algorithm": "kl", "starts": 2, "seed": 6})
+	if v := waitTerminal(t, ts1, idDone); v.State != StateDone {
+		t.Fatalf("quick job ended %q (%s)", v.State, v.Error)
+	}
+	resBefore := resultOf(t, ts1, idDone)
+
+	// A long job occupies the single worker; a budgeted job waits behind
+	// it. Shutdown catches one running and one queued.
+	idLong := submitJob(t, ts1, map[string]any{
+		"graph": ref, "algorithm": "kl", "starts": 4096, "seed": 8, "timeout_ms": 2000,
+	})
+	for i := 0; ; i++ {
+		var v jobView
+		doJSON(t, http.MethodGet, ts1.URL+"/v1/jobs/"+idLong, nil, &v)
+		if v.State == StateRunning {
+			break
+		}
+		if i > 2000 {
+			t.Fatalf("long job never started (state %q)", v.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	budgetSpec := map[string]any{"graph": ref, "algorithm": "ckl", "starts": 4096, "seed": 12, "budget": 64}
+	idQueued := submitJob(t, ts1, budgetSpec)
+
+	ts1.Close()
+	srv1.Close() // interrupts the running job; both unfinished jobs persist as queued
+
+	srv2, err := New(Config{StateDir: dir, Workers: 1})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.Close()
+	})
+
+	// The finished job survived with its full result, not a re-run: the
+	// persisted record still carries the original completion time.
+	var vDone jobView
+	doJSON(t, http.MethodGet, ts2.URL+"/v1/jobs/"+idDone, nil, &vDone)
+	if vDone.State != StateDone {
+		t.Fatalf("finished job recovered as %q", vDone.State)
+	}
+	resAfter := resultOf(t, ts2, idDone)
+	if resAfter.Cut != resBefore.Cut || len(resAfter.Sides) != len(resBefore.Sides) {
+		t.Fatalf("recovered result diverged: cut %d vs %d", resAfter.Cut, resBefore.Cut)
+	}
+	for i := range resAfter.Sides {
+		if resAfter.Sides[i] != resBefore.Sides[i] {
+			t.Fatalf("recovered sides diverge at vertex %d", i)
+		}
+	}
+
+	// The persisted graph is resolvable on the new instance.
+	if resp := doJSON(t, http.MethodGet, ts2.URL+"/v1/graphs/"+ref, nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered graph lookup: HTTP %d", resp.StatusCode)
+	}
+
+	// Both unfinished jobs re-ran to terminal states.
+	vLong := waitTerminal(t, ts2, idLong)
+	if vLong.State != StateDone {
+		t.Fatalf("interrupted job re-ran to %q (%s)", vLong.State, vLong.Error)
+	}
+	vQueued := waitTerminal(t, ts2, idQueued)
+	if vQueued.State != StateDone || vQueued.Result.Stopped != "budget" {
+		t.Fatalf("queued job re-ran to %q stopped=%q (%s)", vQueued.State, stoppedOf(vQueued), vQueued.Error)
+	}
+
+	// Deterministic re-run: the recovered budgeted job equals a fresh
+	// submission of the same spec.
+	vFresh := waitTerminal(t, ts2, submitJob(t, ts2, budgetSpec))
+	if vFresh.State != StateDone || vFresh.Result.Cut != vQueued.Result.Cut {
+		t.Fatalf("re-run not deterministic: recovered cut %d, fresh cut %d",
+			vQueued.Result.Cut, vFresh.Result.Cut)
+	}
+}
+
+func stoppedOf(v jobView) string {
+	if v.Result == nil {
+		return "<no result>"
+	}
+	return v.Result.Stopped
+}

@@ -1,0 +1,645 @@
+// Package service composes the repository's single-run machinery into a
+// long-running multi-tenant partitioning daemon: graph upload with a
+// content-hash cache, a bounded job queue with backpressure, a fixed
+// worker pool reusing the zero-alloc per-worker workspaces, per-job
+// run-control deadlines and budgets, convergence streaming over SSE, and
+// crash-safe job persistence through internal/fsx.
+//
+// The HTTP API is specified in docs/SERVICE.md — that document is the
+// contract, and the tests in this package assert the implementation
+// matches it (including the endpoint list and error-code table, which
+// are parsed out of the document and compared against Endpoints and
+// ErrorCodes).
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Defaults for the zero Config fields; the flag defaults of cmd/bisectd
+// mirror these (and docs/SERVICE.md documents them).
+const (
+	defaultQueueDepth    = 64
+	defaultCacheEntries  = 128
+	defaultMaxGraphBytes = 64 << 20
+	defaultMaxStarts     = 4096
+	defaultMaxEvents     = 65536
+	defaultHeartbeat     = 15 * time.Second
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// StateDir enables crash-safe persistence ("" = in-memory only).
+	StateDir string
+	// Workers is the fixed worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; submissions beyond it get 429.
+	QueueDepth int
+	// CacheEntries bounds the in-memory graph cache (LRU).
+	CacheEntries int
+	// MaxGraphBytes caps uploads (413 beyond it).
+	MaxGraphBytes int64
+	// MaxStarts caps a job's starts (requests beyond it are clamped).
+	MaxStarts int
+	// MaxEvents caps a job's stored trace stream (overflow counted in
+	// events_dropped).
+	MaxEvents int
+	// Heartbeat is the SSE keep-alive comment interval.
+	Heartbeat time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = defaultQueueDepth
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = defaultCacheEntries
+	}
+	if c.MaxGraphBytes <= 0 {
+		c.MaxGraphBytes = defaultMaxGraphBytes
+	}
+	if c.MaxStarts <= 0 {
+		c.MaxStarts = defaultMaxStarts
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = defaultMaxEvents
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = defaultHeartbeat
+	}
+}
+
+// Server is the partitioning service. Create with New, serve its
+// Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	store *store
+	cache *graphCache
+	mux   *http.ServeMux
+	queue chan *job
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job // submission (id) order
+	seq   int
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	closing atomic.Bool
+	started time.Time
+}
+
+// New builds a Server: it recovers persisted state from cfg.StateDir
+// (unfinished jobs re-enter the queue ahead of new traffic), then starts
+// the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	st, err := newStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:   cfg,
+		store: st,
+		cache: newGraphCache(cfg.CacheEntries),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+		ctx:   ctx, cancel: cancel,
+		started: time.Now(),
+	}
+	s.routes()
+	requeue, err := s.recover()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	if len(requeue) > 0 {
+		// Blocking sends on purpose: recovered jobs may exceed the queue
+		// capacity; they drain into workers as slots free up, ahead of
+		// new submissions (which see a full queue and back off with 429).
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for _, j := range requeue {
+				select {
+				case s.queue <- j:
+				case <-s.ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the server down gracefully: new submissions get 503,
+// running jobs are interrupted at their next run-control checkpoint and
+// (with a state directory) persisted back to queued for the next start,
+// and every worker goroutine is joined before Close returns.
+func (s *Server) Close() {
+	if s.closing.Swap(true) {
+		return
+	}
+	s.cancel()
+	s.wg.Wait()
+}
+
+// recover loads persisted jobs: terminal ones keep serving results,
+// queued/running ones are re-queued (a re-run is deterministic, so a
+// crash delays an answer but never changes it).
+func (s *Server) recover() ([]*job, error) {
+	recs, err := s.store.loadJobs()
+	if err != nil {
+		return nil, err
+	}
+	var requeue []*job
+	for _, rec := range recs {
+		spec := Spec{
+			Graph: rec.Graph, Algorithm: rec.Algorithm, Starts: rec.Starts,
+			Seed: rec.Seed, TimeoutMS: rec.TimeoutMS, Budget: rec.Budget,
+		}
+		j := newJob(rec.ID, 0, spec, nil, rec.SubmittedUnixMS, s.cfg.MaxEvents)
+		if seq, ok := seqOf(rec.ID); ok && seq > s.seq {
+			s.seq = seq
+		}
+		j.state = rec.State
+		j.startedMS = rec.StartedUnixMS
+		j.finishedMS = rec.FinishedUnixMS
+		j.errMsg = rec.Error
+		j.result = rec.Result
+		j.sides = rec.Sides
+		switch {
+		case rec.State.terminal():
+			close(j.done)
+		default: // queued or running at crash/shutdown: run it (again)
+			j.state = StateQueued
+			j.startedMS = 0
+			hash, err := parseGraphRef(rec.Graph)
+			if err == nil {
+				j.g, err = s.store.loadGraph(hash)
+			}
+			if err != nil {
+				j.state = StateFailed
+				j.errMsg = fmt.Sprintf("graph %s lost: %v", rec.Graph, err)
+				j.finishedMS = time.Now().UnixMilli()
+				close(j.done)
+			} else {
+				s.cache.put(hash, j.g)
+				requeue = append(requeue, j)
+			}
+			if j.state != rec.State || rec.State == StateRunning {
+				if err := s.store.saveJob(j.record()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+	}
+	return requeue, nil
+}
+
+// seqOf extracts the submission sequence number from a job id
+// ("j-000017-d41d8cd9" → 17).
+func seqOf(id string) (int, bool) {
+	if len(id) < 9 || id[:2] != "j-" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[2:8])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Endpoints is the routing table of the service, one "<METHOD> <path
+// pattern>" per route. docs/SERVICE.md documents exactly these; the
+// doc-contract test enforces the equality in both directions.
+func Endpoints() []string {
+	return []string{
+		"GET /v1/healthz",
+		"GET /v1/stats",
+		"POST /v1/graphs",
+		"GET /v1/graphs/{hash}",
+		"POST /v1/jobs",
+		"GET /v1/jobs",
+		"GET /v1/jobs/{id}",
+		"DELETE /v1/jobs/{id}",
+		"GET /v1/jobs/{id}/result",
+		"GET /v1/jobs/{id}/events",
+	}
+}
+
+// Error codes of the JSON error envelope (docs/SERVICE.md error-code
+// table; the doc-contract test enforces the equality).
+const (
+	codeBadRequest       = "bad_request"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeConflict         = "conflict"
+	codeTooLarge         = "too_large"
+	codeQueueFull        = "queue_full"
+	codeUnavailable      = "unavailable"
+	codeInternal         = "internal"
+)
+
+// ErrorCodes lists every error code the service can emit.
+func ErrorCodes() []string {
+	return []string{
+		codeBadRequest, codeNotFound, codeMethodNotAllowed, codeConflict,
+		codeTooLarge, codeQueueFull, codeUnavailable, codeInternal,
+	}
+}
+
+// routes wires the mux. Paths are registered method-less and dispatched
+// inside the handlers so that wrong-method responses carry the same JSON
+// envelope (plus an Allow header) as every other error.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/healthz", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleHealthz,
+	}))
+	s.mux.HandleFunc("/v1/stats", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleStats,
+	}))
+	s.mux.HandleFunc("/v1/graphs", s.methods(map[string]http.HandlerFunc{
+		http.MethodPost: s.handleGraphUpload,
+	}))
+	s.mux.HandleFunc("/v1/graphs/{hash}", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleGraphInfo,
+	}))
+	s.mux.HandleFunc("/v1/jobs", s.methods(map[string]http.HandlerFunc{
+		http.MethodPost: s.handleSubmit,
+		http.MethodGet:  s.handleJobList,
+	}))
+	s.mux.HandleFunc("/v1/jobs/{id}", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet:    s.handleJobGet,
+		http.MethodDelete: s.handleJobCancel,
+	}))
+	s.mux.HandleFunc("/v1/jobs/{id}/result", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleJobResult,
+	}))
+	s.mux.HandleFunc("/v1/jobs/{id}/events", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleJobEvents,
+	}))
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown route "+r.URL.Path)
+	})
+}
+
+func (s *Server) methods(byMethod map[string]http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := byMethod[r.Method]; ok {
+			h(w, r)
+			return
+		}
+		allow := ""
+		for m := range byMethod {
+			if allow != "" {
+				allow += ", "
+			}
+			allow += m
+		}
+		w.Header().Set("Allow", allow)
+		writeErr(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			fmt.Sprintf("%s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	counts := map[State]int{}
+	s.mu.Lock()
+	for _, j := range s.order {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queue": map[string]int{"depth": len(s.queue), "capacity": cap(s.queue)},
+		"workers": s.cfg.Workers,
+		"jobs": map[string]int{
+			"queued":    counts[StateQueued],
+			"running":   counts[StateRunning],
+			"done":      counts[StateDone],
+			"failed":    counts[StateFailed],
+			"cancelled": counts[StateCancelled],
+		},
+		"cache":     s.cache.stats(),
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+// graphInfo is the response of POST /v1/graphs and GET /v1/graphs/{hash}.
+type graphInfo struct {
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Cached   bool   `json:"cached"`
+}
+
+func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxGraphBytes)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("graph upload exceeds %d bytes", s.cfg.MaxGraphBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "reading body: "+err.Error())
+		return
+	}
+	g, err := parseGraphBody(r.URL.Query().Get("format"), data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	canonical, hash, err := canonicalGraph(g)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	_, resident := s.cache.peek(hash)
+	resident = resident || s.store.hasGraph(hash)
+	s.cache.put(hash, g)
+	if err := s.store.saveGraph(hash, canonical); err != nil {
+		writeErr(w, http.StatusInternalServerError, codeInternal, "persisting graph: "+err.Error())
+		return
+	}
+	status := http.StatusCreated
+	if resident {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, graphInfo{
+		Graph: hashPrefix + hash, Vertices: g.N(), Edges: g.M(), Cached: resident,
+	})
+}
+
+// parseGraphBody dispatches on the upload format (docs/SERVICE.md): the
+// three hardened readers of internal/graph.
+func parseGraphBody(format string, data []byte) (*graph.Graph, error) {
+	switch format {
+	case "", "edgelist":
+		return graph.ReadEdgeList(bytes.NewReader(data))
+	case "metis":
+		return graph.ReadMETIS(bytes.NewReader(data))
+	case "json":
+		return graph.UnmarshalGraph(data)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want edgelist, metis, or json)", format)
+	}
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	hash, err := parseGraphRef(r.PathValue("hash"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	g, ok := s.cache.peek(hash)
+	if !ok {
+		if g, err = s.store.loadGraph(hash); err != nil {
+			writeErr(w, http.StatusNotFound, codeNotFound, "unknown graph "+hashPrefix+hash)
+			return
+		}
+		s.cache.put(hash, g)
+	}
+	writeJSON(w, http.StatusOK, graphInfo{
+		Graph: hashPrefix + hash, Vertices: g.N(), Edges: g.M(), Cached: true,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeUnavailable, "daemon is shutting down")
+		return
+	}
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "job spec: "+err.Error())
+		return
+	}
+	if spec.Starts == 0 {
+		spec.Starts = 2
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Starts > s.cfg.MaxStarts {
+		spec.Starts = s.cfg.MaxStarts
+	}
+	switch {
+	case spec.Starts < 0:
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "starts must be positive")
+		return
+	case spec.TimeoutMS < 0:
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "timeout_ms must be non-negative")
+		return
+	case spec.Budget < 0:
+		writeErr(w, http.StatusBadRequest, codeBadRequest, "budget must be non-negative")
+		return
+	}
+	if _, err := core.New(spec.Algorithm); err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("unknown algorithm %q (have %v)", spec.Algorithm, core.Names()))
+		return
+	}
+	hash, err := parseGraphRef(spec.Graph)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	g, ok := s.cache.acquire(hash)
+	if !ok {
+		if g, err = s.store.loadGraph(hash); err != nil {
+			writeErr(w, http.StatusNotFound, codeNotFound, "unknown graph "+spec.Graph)
+			return
+		}
+		s.cache.put(hash, g)
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j-%06d-%s", s.seq, randomSuffix())
+	j := newJob(id, s.seq, spec, g, time.Now().UnixMilli(), s.cfg.MaxEvents)
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+
+	// Holding j.mu across the enqueue serializes the persisted "queued"
+	// record with the worker's "running" transition (a worker that picks
+	// the job up immediately blocks on j.mu until the record is written).
+	j.mu.Lock()
+	select {
+	case s.queue <- j:
+	default:
+		j.mu.Unlock()
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, codeQueueFull,
+			fmt.Sprintf("job queue is full (%d queued)", cap(s.queue)))
+		return
+	}
+	rec := j.viewLocked(true)
+	accepted := j.viewLocked(false) // snapshot now: a fast worker may flip the state before we respond
+	j.mu.Unlock()
+	if err := s.store.saveJob(rec); err != nil {
+		// The job is already queued; persistence failure surfaces in logs
+		// via the response, not by un-queuing deterministic work.
+		writeErr(w, http.StatusInternalServerError, codeInternal, "persisting job: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, accepted)
+}
+
+func randomSuffix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, codeNotFound, "unknown job "+id)
+	}
+	return j, ok
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	if q := r.URL.Query().Get("wait_ms"); q != "" {
+		ms, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, codeBadRequest, "wait_ms must be a non-negative integer")
+			return
+		}
+		timer := time.NewTimer(time.Duration(ms) * time.Millisecond)
+		defer timer.Stop()
+		select {
+		case <-j.done:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	res, ok := j.resultView()
+	if !ok {
+		writeErr(w, http.StatusConflict, codeConflict,
+			fmt.Sprintf("job %s is %s, not done", j.id, j.view().State))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finishedMS = time.Now().UnixMilli()
+		close(j.done)
+		j.wake()
+		rec := j.viewLocked(true)
+		j.mu.Unlock()
+		if err := s.store.saveJob(rec); err != nil {
+			writeErr(w, http.StatusInternalServerError, codeInternal, "persisting job: "+err.Error())
+			return
+		}
+	case StateRunning:
+		j.userCancel = true
+		if j.cancelRun != nil {
+			j.cancelRun()
+		}
+		j.mu.Unlock()
+	default: // terminal: idempotent no-op
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+

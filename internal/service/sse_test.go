@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sseFrame is one parsed Server-Sent-Events frame.
+type sseFrame struct {
+	id    string // "" on the terminal frame
+	event string
+	data  string
+}
+
+// sseFrames reads a job's event stream to EOF and parses it, dropping
+// comment (heartbeat) lines, which are outside the determinism
+// guarantee. query is appended verbatim ("?from=3", "").
+func sseFrames(t *testing.T, ts *httptest.Server, id, query string) []sseFrame {
+	t.Helper()
+	body := sseRaw(t, ts, id, query, nil)
+	return parseSSE(t, body)
+}
+
+// sseRaw fetches the stream body as a string, with optional headers.
+func sseRaw(t *testing.T, ts *httptest.Server, id, query string, hdr map[string]string) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("events %s%s: %v", id, query, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events %s%s: HTTP %d", id, query, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, ":") {
+			continue // heartbeat comment
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return b.String()
+}
+
+func parseSSE(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	for _, chunk := range strings.Split(body, "\n\n") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		var f sseFrame
+		for _, line := range strings.Split(chunk, "\n") {
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				f.id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			default:
+				t.Fatalf("unexpected SSE line %q", line)
+			}
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+// TestSSEReplayDeterminism pins docs/SERVICE.md "GET /v1/jobs/{id}/events":
+// a live subscription and any number of later replays yield the same
+// id/event/data frames, byte for byte; ?from= and Last-Event-ID resume
+// mid-stream.
+func TestSSEReplayDeterminism(t *testing.T) {
+	g := testGraph(t, 250, 4, 29)
+	_, ts := newTestServer(t, Config{})
+	ref := uploadGraph(t, ts, g)
+	id := submitJob(t, ts, map[string]any{"graph": ref, "algorithm": "ckl", "starts": 3, "seed": 4})
+
+	// Live subscription, racing the run: blocks until the terminal frame.
+	live := sseRaw(t, ts, id, "", nil)
+	if v := waitTerminal(t, ts, id); v.State != StateDone {
+		t.Fatalf("job ended %q (%s)", v.State, v.Error)
+	}
+
+	replay1 := sseRaw(t, ts, id, "", nil)
+	replay2 := sseRaw(t, ts, id, "", nil)
+	if replay1 != replay2 {
+		t.Fatalf("two replays differ:\n--- first\n%s\n--- second\n%s", replay1, replay2)
+	}
+	if live != replay1 {
+		t.Fatalf("live stream differs from replay:\n--- live\n%s\n--- replay\n%s", live, replay1)
+	}
+
+	frames := parseSSE(t, replay1)
+	if len(frames) < 3 {
+		t.Fatalf("only %d frames for a 3-start job", len(frames))
+	}
+	term := frames[len(frames)-1]
+	if term.event != "done" || term.id != "" {
+		t.Fatalf("terminal frame {id %q, event %q}, want unnumbered done", term.id, term.event)
+	}
+
+	// Resume from index 2: exactly the suffix.
+	suffix := parseSSE(t, sseRaw(t, ts, id, "?from=2", nil))
+	if len(suffix) != len(frames)-2 {
+		t.Fatalf("from=2 returned %d frames, want %d", len(suffix), len(frames)-2)
+	}
+	for i, f := range suffix {
+		if f != frames[i+2] {
+			t.Fatalf("from=2 frame %d diverges: %+v vs %+v", i, f, frames[i+2])
+		}
+	}
+
+	// Last-Event-ID: the browser reconnect header resumes after the id.
+	viaHeader := parseSSE(t, sseRaw(t, ts, id, "", map[string]string{"Last-Event-ID": "1"}))
+	if len(viaHeader) != len(suffix) {
+		t.Fatalf("Last-Event-ID: 1 returned %d frames, want %d", len(viaHeader), len(suffix))
+	}
+	for i, f := range viaHeader {
+		if f != suffix[i] {
+			t.Fatalf("Last-Event-ID frame %d diverges: %+v vs %+v", i, f, suffix[i])
+		}
+	}
+
+	// A replay starting past the end is just the terminal frame.
+	tail := parseSSE(t, sseRaw(t, ts, id, "?from=100000", nil))
+	if len(tail) != 1 || tail[0].event != "done" {
+		t.Fatalf("past-the-end replay: %+v", tail)
+	}
+}

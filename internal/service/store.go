@@ -1,0 +1,126 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fsx"
+	"repro/internal/graph"
+)
+
+// jobSchema versions the persisted job record. Records carrying a
+// different schema are refused at startup (never misread).
+const jobSchema = "bisectd-job/v1"
+
+// store is the daemon's crash-safe persistence layer: canonical graph
+// bytes under graphs/, one job record per file under jobs/, every write
+// through the fsx atomic protocol so a crash at any instant leaves only
+// complete files (docs/SERVICE.md "Persistence format"). A nil *store
+// (no -state directory) disables persistence; all methods are nil-safe.
+type store struct{ dir string }
+
+func newStore(dir string) (*store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	for _, sub := range []string{"graphs", "jobs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+func (s *store) graphPath(hash string) string {
+	return filepath.Join(s.dir, "graphs", hash+".el")
+}
+
+func (s *store) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+// hasGraph reports whether canonical bytes for hash are on disk.
+func (s *store) hasGraph(hash string) bool {
+	if s == nil {
+		return false
+	}
+	_, err := os.Stat(s.graphPath(hash))
+	return err == nil
+}
+
+// saveGraph persists canonical edge-list bytes (idempotent: an existing
+// file is left alone — content-hashed names cannot change meaning).
+func (s *store) saveGraph(hash string, canonical []byte) error {
+	if s == nil {
+		return nil
+	}
+	if s.hasGraph(hash) {
+		return nil
+	}
+	return fsx.WriteFileAtomic(s.graphPath(hash), canonical, 0o644)
+}
+
+// loadGraph parses the persisted canonical bytes for hash.
+func (s *store) loadGraph(hash string) (*graph.Graph, error) {
+	if s == nil {
+		return nil, os.ErrNotExist
+	}
+	data, err := os.ReadFile(s.graphPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	return graph.ReadEdgeList(bytes.NewReader(data))
+}
+
+// saveJob atomically rewrites the job's record; called at every state
+// transition so recovery never sees a half-written state.
+func (s *store) saveJob(rec jobView) error {
+	if s == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(s.jobPath(rec.ID), data, 0o644)
+}
+
+// loadJobs reads every persisted job record, id-sorted (ids embed the
+// submission sequence number, so id order is submission order). A
+// record with an unknown schema is an error — the daemon refuses to
+// guess at foreign state.
+func (s *store) loadJobs() ([]jobView, error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var recs []jobView
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue // stray temp files from killed writers are ignorable
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", name))
+		if err != nil {
+			return nil, err
+		}
+		var rec jobView
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("job record %s: %w", name, err)
+		}
+		if rec.Schema != jobSchema {
+			return nil, fmt.Errorf("job record %s: schema %q, want %q", name, rec.Schema, jobSchema)
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
+	return recs, nil
+}

@@ -38,6 +38,14 @@ go test -race ./...
 echo "==> go test -race -count=3 -run 'TestParallel' ./internal/core/"
 go test -race -count=3 -run 'TestParallel' ./internal/core/
 
+# The service daemon is the most concurrency-dense package in the tree
+# (worker pool, SSE streamers, long-pollers, and HTTP handlers all share
+# job state): repeated race runs vary the interleavings. This also
+# re-runs TestLoadSmoke — 200 concurrent clients against an in-process
+# daemon, no lost or drifting jobs — under the race detector.
+echo "==> go test -race -count=2 ./internal/service/ (daemon race + load smoke)"
+go test -race -count=2 ./internal/service/
+
 # Crash-safety integration gate: a checkpointing campaign killed with
 # SIGKILL mid-run (subprocess, no handlers) must resume from the atomic
 # checkpoint file and agree cut-for-cut with an uninterrupted run.
@@ -81,4 +89,4 @@ if [ -n "$baseline" ]; then
   go run ./cmd/benchdiff "$baseline" "$out"
 fi
 
-echo "OK: vet, build, race tests, kill-and-resume, fuzz smoke, and quick benchmarks all passed"
+echo "OK: vet, build, race tests, daemon load smoke, kill-and-resume, fuzz smoke, and quick benchmarks all passed"
