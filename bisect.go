@@ -135,6 +135,14 @@ func NewFMRefiner() *FMRefiner { return fm.NewRefiner() }
 // safe for concurrent use.
 func WithWorkspace(b Bisector) Bisector { return core.WithWorkspace(b) }
 
+// WithParallel attaches a within-run parallel degree to b if its
+// algorithm supports sharded internal kernels (matching, contraction,
+// gain-bucket filling); otherwise (or for degree ≤ 1) returns b
+// unchanged. Results are deterministic: every degree ≥ 2 produces the
+// same bisection, and the parallel paths only engage on graphs large
+// enough to amortize the coordination (see docs/PERFORMANCE.md).
+func WithParallel(b Bisector, degree int) Bisector { return core.WithParallel(b, degree) }
+
 // NewBuilder returns a Builder for a graph on n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
@@ -182,6 +190,13 @@ func CutOf(g *Graph, side []uint8) int64 { return partition.CutOf(g, side) }
 
 // GNP samples the Erdős–Rényi model 𝒢np(n, p).
 func GNP(n int, p float64, r *Rand) (*Graph, error) { return gen.GNP(n, p, r) }
+
+// StreamGNP enumerates the edges of 𝒢np(n, p) without materializing the
+// graph (O(1) working memory); see gengraph's streaming mode. Two
+// passes over sources with the same seed visit the identical edge set.
+func StreamGNP(n int, p float64, r *Rand, emit func(u, v int32) error) (int64, error) {
+	return gen.StreamGNP(n, p, r, emit)
+}
 
 // TwoSet samples the planted-bisection model 𝒢2set(2n, pA, pB, bis).
 func TwoSet(twoN int, pA, pB float64, bis int, r *Rand) (*Graph, error) {
@@ -277,6 +292,31 @@ func MarshalGraph(g *Graph) ([]byte, error) { return graph.MarshalGraph(g) }
 
 // UnmarshalGraph decodes JSON produced by MarshalGraph.
 func UnmarshalGraph(data []byte) (*Graph, error) { return graph.UnmarshalGraph(data) }
+
+// CSRFile is a Graph backed by a memory-mapped on-disk CSR image; see
+// OpenCSRFile. Close releases the mapping.
+type CSRFile = graph.CSRFile
+
+// WriteCSRFile writes g in the binary CSR format (BCSR), the zero-copy
+// on-disk layout documented in docs/PERFORMANCE.md.
+func WriteCSRFile(w io.Writer, g *Graph) error { return graph.WriteCSRFile(w, g) }
+
+// OpenCSRFile memory-maps a BCSR file and wraps it as a Graph without
+// copying the edge arrays. The caller must keep the returned CSRFile
+// open while the Graph is in use and Close it afterwards.
+func OpenCSRFile(path string) (*CSRFile, error) { return graph.OpenCSRFile(path) }
+
+// ReadCSRFile parses a BCSR stream into a heap-allocated Graph. Use
+// OpenCSRFile instead when the data is a local file: mapping skips the
+// copy entirely.
+func ReadCSRFile(r io.Reader) (*Graph, error) { return graph.ReadCSRFile(r) }
+
+// SetCompactCSR toggles the compact (int32-indexed) in-memory CSR
+// representation for subsequently constructed graphs. It is enabled by
+// default; disabling it is an ablation knob for measuring the memory
+// and bandwidth effect of the compact form. Not safe to flip
+// concurrently with graph construction.
+func SetCompactCSR(enabled bool) { graph.DisableCompactCSR = !enabled }
 
 // Exact solvers.
 

@@ -301,12 +301,17 @@ func run() error {
 	out := flag.String("o", "", "write the snapshot to this file (default stdout)")
 	baseline := flag.String("baseline", "", "embed this previously written snapshot as the baseline")
 	quick := flag.Bool("quick", false, "micro-benchmarks only; skip the harness tables")
+	scale := flag.Bool("scale", false, "add the million-vertex scale suite (generation, parse/read/mmap loading, threaded kernels)")
 	notes := flag.String("notes", "", "free-form note stored in the snapshot")
 	flag.Parse()
 
+	scaleTag := "reduced"
+	if *scale {
+		scaleTag = "reduced+1m"
+	}
 	snap := Snapshot{
 		Schema:    "repro-bench/v1",
-		Scale:     "reduced",
+		Scale:     scaleTag,
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		Notes:     *notes,
@@ -445,6 +450,18 @@ func run() error {
 	// Rows that exist only in trees with the workspace arena API (the
 	// baseline build stubs this out so snapshots stay comparable).
 	addExtraRows(add, gbreg)
+
+	if *scale {
+		dir, err := os.MkdirTemp("", "bench-scale-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		fmt.Fprintln(os.Stderr, "bench: generating the million-vertex scale instance...")
+		if err := addScaleRows(add, dir); err != nil {
+			return err
+		}
+	}
 
 	for _, d := range defs {
 		fmt.Fprintf(os.Stderr, "bench %-28s ", d.name)

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/coarsen"
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// scaleN is the vertex count of the -scale suite: the million-vertex
+// regime the compact CSR, mmap loading, and sharded kernels target.
+const scaleN = 1_000_000
+
+// scaleDeg keeps the instance sparse like the paper's families while
+// still giving every kernel multi-million half-edge arrays to chew on.
+const scaleDeg = 4.0
+
+// addScaleRows registers the -scale benchmark rows: generation,
+// loading (text parse vs binary read vs mmap), and the sharded
+// matching/contraction/refinement kernels at thread degrees 1/2/4/8
+// (the _t<k> suffix is the thread-series convention cmd/benchdiff
+// understands). Rows share one generated instance; the load rows go
+// through real files in dir.
+func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), dir string) error {
+	p := scaleDeg / float64(scaleN-1)
+	g, err := gen.GNP(scaleN, p, rng.NewFib(42))
+	if err != nil {
+		return err
+	}
+	m := float64(g.M())
+
+	add("scale_gen_gnp1m_d4", m, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.GNP(scaleN, p, rng.NewFib(42)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("scale_stream_gnp1m_d4", m, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gen.StreamGNP(scaleN, p, rng.NewFib(42), func(u, v int32) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Loading: the same instance as edge-list text (the parse path every
+	// text format pays) and as BCSR (binary read-and-copy, and the mmap
+	// fast path bisect/bisectd use for .csr inputs).
+	var elBuf, csrBuf bytes.Buffer
+	if err := graph.WriteEdgeList(&elBuf, g); err != nil {
+		return err
+	}
+	if err := graph.WriteCSRFile(&csrBuf, g); err != nil {
+		return err
+	}
+	csrPath := filepath.Join(dir, "scale.csr")
+	if err := os.WriteFile(csrPath, csrBuf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	elData, csrData := elBuf.Bytes(), csrBuf.Bytes()
+	add("scale_load_parse_gnp1m", m, func(b *testing.B) {
+		b.SetBytes(int64(len(elData)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.ReadEdgeList(bytes.NewReader(elData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("scale_load_read_gnp1m", m, func(b *testing.B) {
+		b.SetBytes(int64(len(csrData)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.ReadCSRFile(bytes.NewReader(csrData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("scale_load_mmap_gnp1m", m, func(b *testing.B) {
+		b.SetBytes(int64(len(csrData)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cf, err := graph.OpenCSRFile(csrPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cf.Graph().M() != g.M() {
+				b.Fatal("edge count mismatch")
+			}
+			if err := cf.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Matching thread series. t1 is the serial greedy sweep; t2+ is the
+	// deterministic handshake kernel sharded over the degree (a different
+	// algorithm by design — degrees ≥ 2 agree with each other, not with
+	// t1).
+	for _, threads := range []int{1, 2, 4, 8} {
+		threads := threads
+		w := matching.NewWorkspace()
+		w.SetParallel(threads)
+		add(fmt.Sprintf("scale_match_gnp1m_t%d", threads), 0, func(b *testing.B) {
+			r := rng.NewFib(7)
+			w.RandomMaximal(g, r) // warm the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RandomMaximal(g, r)
+			}
+		})
+	}
+
+	// Contraction thread series: identical work at every degree — the
+	// sharded row-count/row-write kernel is byte-identical to the serial
+	// cursor kernel — over one fixed matching.
+	mate := matching.NewWorkspace().RandomMaximal(g, rng.NewFib(7))
+	for _, threads := range []int{1, 2, 4, 8} {
+		threads := threads
+		w := coarsen.NewWorkspace()
+		w.SetParallel(threads)
+		add(fmt.Sprintf("scale_contract_gnp1m_t%d", threads), 0, func(b *testing.B) {
+			contract := func() {
+				w.Reset()
+				if _, err := w.Contract(g, mate); err != nil {
+					b.Fatal(err)
+				}
+			}
+			contract() // warm the arena
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				contract()
+			}
+		})
+	}
+
+	// Refinement thread series: one steady-state FM pass on a warmed
+	// refiner (parallel gain-bucket initialization at t2+; the pass body
+	// itself is serial, so the parallel section is a minority share).
+	for _, threads := range []int{1, 2, 4, 8} {
+		opts := fm.Options{ParallelDegree: threads}
+		w := fm.NewRefiner()
+		bis := partition.NewRandom(g, rng.NewFib(9))
+		if _, _, err := w.Pass(bis, opts); err != nil {
+			return err
+		}
+		add(fmt.Sprintf("scale_fm_pass_gnp1m_t%d", threads), 0, func(b *testing.B) {
+			defer w.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := w.Pass(bis, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	return nil
+}

@@ -30,6 +30,13 @@
 // but never fails on them, and a snapshot holding only service series
 // does not trip the empty-intersection error.
 //
+// Thread-scaling series (a "_t<k>" suffix: the same kernel at -threads
+// 1/2/4/8, e.g. scale_match_gnp1m_t4) get the same treatment for k > 1:
+// their ns/op depends on how many cores the host actually has, so they
+// are reported, summarized as a parallel-efficiency table (speedup over
+// the _t1 row divided by k), and never gated on. The _t1 member is an
+// ordinary serial benchmark and stays gated.
+//
 // scripts/check.sh uses this to gate tier-2 on BENCH_(N-1) → BENCH_N.
 package main
 
@@ -58,6 +65,26 @@ type benchRow struct {
 // isService reports whether a row is a service-latency series, which is
 // reported but never gated on.
 func isService(name string) bool { return strings.HasPrefix(name, "svc_") }
+
+// threadSeries parses a thread-scaling series name "<base>_t<k>" and
+// returns its base name and thread count. ok is false for ordinary
+// series.
+func threadSeries(name string) (base string, k int, ok bool) {
+	i := strings.LastIndex(name, "_t")
+	if i < 0 || i+2 >= len(name) {
+		return "", 0, false
+	}
+	for _, c := range name[i+2:] {
+		if c < '0' || c > '9' {
+			return "", 0, false
+		}
+		k = k*10 + int(c-'0')
+	}
+	if k == 0 {
+		return "", 0, false
+	}
+	return name[:i], k, true
+}
 
 type snapshot struct {
 	Schema     string     `json:"schema"`
@@ -148,6 +175,13 @@ func main() {
 				name, o.NsPerOp, n.NsPerOp, delta*100, o.P99NS/1e6, n.P99NS/1e6)
 			continue
 		}
+		if _, k, ok := threadSeries(name); ok && k > 1 {
+			// Multi-thread wall-clock depends on the host's core count:
+			// reported (and summarized below), never gated.
+			fmt.Printf("%-34s %14.0f %14.0f %+7.1f%% %6d → %-4d  THREADS (informational)\n",
+				name, o.NsPerOp, n.NsPerOp, delta*100, o.AllocsOp, n.AllocsOp)
+			continue
+		}
 		mark := ""
 		if delta > *tol {
 			mark = "  REGRESSION"
@@ -180,10 +214,62 @@ func main() {
 		o := oldRows[name]
 		fmt.Printf("%-34s %14.0f %14s %8s %6d → %-4s  REMOVED\n", name, o.NsPerOp, "-", "-", o.AllocsOp, "-")
 	}
+	printEfficiency(newRows)
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (tolerance %.0f%%)\n", *tol*100)
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: OK (%d series within %.0f%%, %d added, %d removed)\n",
 		len(names), *tol*100, len(added), len(removed))
+}
+
+// printEfficiency summarizes every thread-scaling family in the new
+// snapshot: speedup of _t<k> over _t1 and parallel efficiency
+// (speedup / k). Efficiency near 100% is linear scaling; on a host with
+// fewer cores than k the expected value is cores/k.
+func printEfficiency(rows map[string]benchRow) {
+	type member struct {
+		k  int
+		ns float64
+	}
+	families := map[string][]member{}
+	for name, r := range rows {
+		if base, k, ok := threadSeries(name); ok {
+			families[base] = append(families[base], member{k, r.NsPerOp})
+		}
+	}
+	var bases []string
+	for base, ms := range families {
+		has1 := false
+		for _, m := range ms {
+			has1 = has1 || m.k == 1
+		}
+		if has1 && len(ms) > 1 {
+			bases = append(bases, base)
+		}
+	}
+	if len(bases) == 0 {
+		return
+	}
+	sort.Strings(bases)
+	fmt.Printf("\nparallel efficiency (new snapshot, speedup over _t1 / threads)\n")
+	for _, base := range bases {
+		ms := families[base]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].k < ms[j].k })
+		var t1 float64
+		for _, m := range ms {
+			if m.k == 1 {
+				t1 = m.ns
+			}
+		}
+		fmt.Printf("%-34s", base)
+		for _, m := range ms {
+			if m.k == 1 || m.ns <= 0 || t1 <= 0 {
+				continue
+			}
+			speedup := t1 / m.ns
+			fmt.Printf("  t%d: %.2fx (%3.0f%%)", m.k, speedup, 100*speedup/float64(m.k))
+		}
+		fmt.Println()
+	}
 }

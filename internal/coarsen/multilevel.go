@@ -46,6 +46,13 @@ type MultilevelOptions struct {
 	// workspace must not be shared across goroutines; nil allocates an
 	// ephemeral arena per run.
 	Workspace *Workspace
+	// ParallelDegree, when > 1, runs the matching and contraction phases
+	// on that many goroutines within a single run for graphs with at
+	// least ParallelMinVertices vertices (results are identical at any
+	// degree; see parallel.go and matching/parallel.go). 0 or 1 keeps
+	// every phase serial. The pool attaches to the Workspace, so reuse a
+	// Workspace across runs to amortize it.
+	ParallelDegree int
 	// Control, when non-nil, is polled once before every coarsening
 	// level. When it stops, coarsening halts where it stands and the
 	// driver still solves the coarsest graph reached and projects back up
@@ -82,6 +89,7 @@ func (o *MultilevelOptions) withDefaults() MultilevelOptions {
 	}
 	out.Observer = o.Observer
 	out.Control = o.Control
+	out.ParallelDegree = o.ParallelDegree
 	return out
 }
 
@@ -99,6 +107,17 @@ func Multilevel(g *graph.Graph, opts *MultilevelOptions, initial InitialFunc, re
 	w := o.Workspace
 	if w == nil {
 		w = NewWorkspace()
+		if o.ParallelDegree > 1 {
+			defer w.Close() // release the ephemeral pool's parked goroutines
+			if opts == nil || opts.Match == nil {
+				// Route the default matching through the ephemeral
+				// workspace so the pool covers the match phase too.
+				o.Match = w.RandomMaximal
+			}
+		}
+	}
+	if o.ParallelDegree > 0 {
+		w.SetParallel(o.ParallelDegree)
 	}
 	return w.multilevel(g, o, initial, refine, r)
 }

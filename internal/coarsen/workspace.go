@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/trace"
@@ -39,6 +40,29 @@ type Workspace struct {
 	levels []*level
 	depth  int
 	side   []uint8 // projection scratch, sized to the largest fine graph seen
+
+	// Sharded-contraction state (see parallel.go): the shared pool, one
+	// epoch-stamped dedup map per shard, per-shard error slots, and the
+	// pre-bound phase closures plus per-run parameters that keep the
+	// parallel kernel allocation-free.
+	pool    *par.Pool
+	poolDeg int
+	cstamp  [][]uint32
+	cpos    [][]int32
+	cepoch  []uint32
+	cerrs   []error
+	countFn func(int)
+	writeFn func(int)
+	cg      *graph.Graph
+	clv     *level
+	ccn     int
+	cshards int
+}
+
+// overflowErr formats the merged-weight overflow error identically on
+// the serial and sharded kernel paths.
+func overflowErr(cv, cu int32, merged int64) error {
+	return fmt.Errorf("coarsen: merged weight %d on edge {%d,%d} overflows", merged, cv, cu)
 }
 
 // level owns the buffers of one coarsening level. The slots live in a
@@ -91,7 +115,7 @@ func (w *Workspace) Contract(g *graph.Graph, mate []int32) (*Contraction, error)
 		return nil, err
 	}
 	lv := w.pushLevel()
-	if err := contractInto(lv, g, mate, w.DisableDirectCSR); err != nil {
+	if err := w.contractInto(lv, g, mate); err != nil {
 		w.depth--
 		return nil, err
 	}
@@ -110,9 +134,11 @@ func (w *Workspace) pushLevel() *level {
 
 // contractInto runs the contraction into lv's buffers: coarse-id
 // assignment, member pairs, summed vertex weights, then the coarse
-// adjacency — directly in CSR via the kernel, or through graph.Builder
-// when the ablation flag asks for the original path.
-func contractInto(lv *level, g *graph.Graph, mate []int32, viaBuilder bool) error {
+// adjacency — directly in CSR via the kernel (parallelized across row
+// shards when a pool is attached and the graph is large, see
+// parallel.go), or through graph.Builder when the ablation flag asks
+// for the original path.
+func (w *Workspace) contractInto(lv *level, g *graph.Graph, mate []int32) error {
 	n := g.N()
 	c := &lv.con
 	c.Fine = g
@@ -154,8 +180,23 @@ func contractInto(lv *level, g *graph.Graph, mate []int32, viaBuilder bool) erro
 		lv.vw[cv] = int32(wsum)
 	}
 
-	if viaBuilder {
+	if w.DisableDirectCSR {
 		return contractViaBuilder(c, lv.vw, cn)
+	}
+
+	lv.off = growInt32(lv.off, n+1)
+	lv.edges = growEdges(lv.edges, 2*g.M())
+	if w.parallelRows(n) {
+		// Two-phase sharded kernel (parallel.go): byte-identical rows,
+		// built concurrently.
+		if err := w.contractRowsParallel(lv, g, cn); err != nil {
+			return err
+		}
+		if err := lv.g.ResetCSR(lv.off[:cn+1], lv.edges[:lv.off[cn]], lv.vw); err != nil {
+			return fmt.Errorf("coarsen: contraction kernel produced invalid CSR: %w", err)
+		}
+		c.Coarse = &lv.g
+		return nil
 	}
 
 	// Direct kernel. Rows are written left to right with one global
@@ -168,8 +209,6 @@ func contractInto(lv *level, g *graph.Graph, mate []int32, viaBuilder bool) erro
 	// through the epoch-stamped position map: stamp[cu] == epoch says
 	// pos[cu] is live for the current row, and bumping the epoch per
 	// row invalidates the whole map in O(1).
-	lv.off = growInt32(lv.off, n+1)
-	lv.edges = growEdges(lv.edges, 2*g.M())
 	lv.pos = growInt32(lv.pos, n)
 	lv.stamp = growUint32(lv.stamp, n)
 	pos, stamp, edges, cmap := lv.pos, lv.stamp, lv.edges, c.Map
@@ -205,7 +244,7 @@ func contractInto(lv *level, g *graph.Graph, mate []int32, viaBuilder bool) erro
 					i := pos[cu]
 					merged := int64(edges[i].W) + int64(e.W)
 					if merged > 1<<30 {
-						return fmt.Errorf("coarsen: merged weight %d on edge {%d,%d} overflows", merged, cv, cu)
+						return overflowErr(cv, cu, merged)
 					}
 					edges[i].W = int32(merged)
 				} else {

@@ -262,6 +262,11 @@ type Compacted struct {
 	// match/contract/project pipeline runs in (see coarsen.Workspace);
 	// WithWorkspace sets it. Results are identical with or without one.
 	Workspace *coarsen.Workspace
+	// ParallelDegree, when > 1, shards the matching and contraction
+	// phases across that many goroutines for large graphs; WithParallel
+	// sets it (and parallelizes Inner). Results are identical at any
+	// degree.
+	ParallelDegree int
 }
 
 // RefinableBisector is a Bisector that can also improve an existing
@@ -422,7 +427,15 @@ func (c Compacted) Bisect(g *graph.Graph, r *rng.Rand) (*partition.Bisection, er
 	var start *partition.Bisection
 	var err error
 	if c.Workspace != nil {
+		c.Workspace.SetParallel(c.ParallelDegree) // idempotent; ≤1 detaches
 		start, err = c.Workspace.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
+	} else if c.ParallelDegree > 1 {
+		// No reusable arena: run in an ephemeral one carrying the pool,
+		// released when the run ends.
+		w := coarsen.NewWorkspace()
+		defer w.Close()
+		w.SetParallel(c.ParallelDegree)
+		start, err = w.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
 	} else {
 		start, err = coarsen.CompactOnce(g, c.Match, initial, nil, r, c.Observer)
 	}

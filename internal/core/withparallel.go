@@ -1,0 +1,103 @@
+package core
+
+import "repro/internal/coarsen"
+
+// Parallelizable is a Bisector that can use several goroutines WITHIN a
+// single run — sharded matching and contraction in the compaction
+// pipeline, concurrent gain-bucket filling in the refiners — as opposed
+// to ParallelBestOf, which parallelizes ACROSS independent runs. The
+// contract is strict determinism: a parallelizable bisector returns the
+// same bisection at every degree ≥ 2 (the parallel kernels are designed
+// for shard-count independence), and the parallel paths only engage
+// above the per-package ParallelMinVertices thresholds, so
+// fixture-sized instances keep the serial streams bit-exact.
+type Parallelizable interface {
+	Bisector
+	// WithParallel returns a copy of the bisector whose runs use up to
+	// degree goroutines for their internal phases. The receiver is not
+	// modified. Degree ≤ 1 returns an equivalent serial bisector.
+	WithParallel(degree int) Bisector
+}
+
+// WithParallel attaches a within-run parallel degree to b if b is
+// Parallelizable; otherwise (or for degree ≤ 1) it returns b unchanged.
+func WithParallel(b Bisector, degree int) Bisector {
+	if degree <= 1 {
+		return b
+	}
+	if p, ok := b.(Parallelizable); ok {
+		return p.WithParallel(degree)
+	}
+	return b
+}
+
+// withParallelRefinable is WithParallel keeping the RefinableBisector
+// interface (it holds for the concrete algorithms; the fallback covers
+// exotic user implementations).
+func withParallelRefinable(b RefinableBisector, degree int) RefinableBisector {
+	if rb, ok := WithParallel(b, degree).(RefinableBisector); ok {
+		return rb
+	}
+	return b
+}
+
+// WithParallel implements Parallelizable for KL (concurrent gain-bucket
+// filling on large graphs).
+func (a KL) WithParallel(degree int) Bisector {
+	a.Opts.ParallelDegree = degree
+	return a
+}
+
+// WithParallel implements Parallelizable for FM (concurrent gain-bucket
+// filling on large graphs).
+func (a FM) WithParallel(degree int) Bisector {
+	a.Opts.ParallelDegree = degree
+	return a
+}
+
+// WithParallel implements Parallelizable for Compacted: the matching and
+// contraction phases shard across the degree (the pool attaches to the
+// compaction workspace at Bisect time), and the inner bisector is
+// parallelized too.
+func (c Compacted) WithParallel(degree int) Bisector {
+	c.ParallelDegree = degree
+	if c.Inner != nil {
+		c.Inner = withParallelRefinable(c.Inner, degree)
+	}
+	return c
+}
+
+// WithParallel implements Parallelizable for Multilevel: every level's
+// matching and contraction shard across the degree, and the inner
+// bisector is parallelized too. The options are copied, never mutated
+// in place.
+func (m Multilevel) WithParallel(degree int) Bisector {
+	var o coarsen.MultilevelOptions
+	if m.Opts != nil {
+		o = *m.Opts
+	}
+	o.ParallelDegree = degree
+	m.Opts = &o
+	if m.Inner != nil {
+		m.Inner = withParallelRefinable(m.Inner, degree)
+	}
+	return m
+}
+
+// WithParallel implements Parallelizable for BestOf by parallelizing the
+// inner bisector within each sequential start.
+func (b BestOf) WithParallel(degree int) Bisector {
+	if b.Inner != nil {
+		b.Inner = WithParallel(b.Inner, degree)
+	}
+	return b
+}
+
+// Compile-time checks for the parallelizable set.
+var (
+	_ Parallelizable = KL{}
+	_ Parallelizable = FM{}
+	_ Parallelizable = Compacted{}
+	_ Parallelizable = Multilevel{}
+	_ Parallelizable = BestOf{}
+)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/runctl"
@@ -53,7 +54,19 @@ type Options struct {
 	// run under checkpoint budget k is identical to an uncancelled run
 	// with MaxPasses = k; nil costs nothing.
 	Control *runctl.Control
+	// ParallelDegree, when > 1, fills the two gain-bucket structures of
+	// each pass concurrently (one worker per side) for graphs with at
+	// least ParallelMinVertices vertices. Results are identical at any
+	// degree — each side's buckets are filled serially in vertex order
+	// either way. The two-worker pool attaches to the Workspace; reuse
+	// one (and Close it) to amortize.
+	ParallelDegree int
 }
+
+// ParallelMinVertices is the graph size below which the bucket init
+// stays serial even when Options.ParallelDegree asks for workers. A
+// variable only so tests can lower it.
+var ParallelMinVertices = 1 << 15
 
 const safetyPassCap = 1000
 
@@ -74,6 +87,35 @@ type Stats struct {
 type Refiner struct {
 	buckets [2]partition.GainBuckets
 	moves   []int32
+	// Two-worker pool for the parallel bucket init (Options.ParallelDegree),
+	// created lazily, released by Close; pb carries the bisection to the
+	// pre-bound shard closure.
+	pool   *par.Pool
+	initFn func(int)
+	pb     *partition.Bisection
+}
+
+// Close releases the pool created for parallel bucket filling (if any).
+// The Refiner remains usable afterwards.
+func (w *Refiner) Close() {
+	if w.pool != nil {
+		w.pool.Close()
+		w.pool = nil
+	}
+}
+
+// initShard fills side s's gain buckets in vertex order — exactly the
+// serial insertion order restricted to one side, so the LIFO bucket
+// layout (and every downstream decision) is identical.
+func (w *Refiner) initShard(s int) {
+	side, gain := w.pb.SidesRef(), w.pb.GainsRef()
+	bk := &w.buckets[s]
+	us := uint8(s)
+	for v, sv := range side {
+		if sv == us {
+			bk.Add(int32(v), gain[v])
+		}
+	}
 }
 
 // NewRefiner returns an empty workspace. Equivalent to new(Refiner);
@@ -209,8 +251,18 @@ func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64,
 		return 0, 0, err
 	}
 	buckets := [2]*partition.GainBuckets{&w.buckets[0], &w.buckets[1]}
-	for v := int32(0); int(v) < n; v++ {
-		buckets[b.Side(v)].Add(v, b.Gain(v))
+	if opts.ParallelDegree > 1 && n >= ParallelMinVertices {
+		if w.pool == nil {
+			w.pool = par.New(2)
+			w.initFn = w.initShard
+		}
+		w.pb = b
+		w.pool.Run(2, w.initFn)
+		w.pb = nil
+	} else {
+		for v := int32(0); int(v) < n; v++ {
+			buckets[b.Side(v)].Add(v, b.Gain(v))
+		}
 	}
 
 	moves := w.moves[:0]
@@ -302,6 +354,37 @@ func selectMove(b *partition.Bisection, buckets [2]*partition.GainBuckets, tol i
 	g := b.Graph()
 	bestV := int32(-1)
 	var bestG int64
+	// Unit vertex weights (weights are validated positive, so max==1 means
+	// all are exactly 1) make admissibility a per-side constant: every
+	// vertex on side s shifts d by the same ∓2. Deciding the side once
+	// replaces walking every vertex of a locked-out side — without this,
+	// each move of a pass scans the whole losing side whenever repair
+	// moves must come from the other one, turning the pass quadratic
+	// (hours at 10^6 vertices). Selection is unchanged: on an admissible
+	// side every vertex is admissible, so the cursor's first entry is the
+	// side's best, exactly what the general scan below would return.
+	if g.MaxVertexWeight() == 1 {
+		for s := 0; s < 2; s++ {
+			nd := d - 2
+			if s == 1 {
+				nd = d + 2
+			}
+			abs, nabs := d, nd
+			if abs < 0 {
+				abs = -abs
+			}
+			if nabs < 0 {
+				nabs = -nabs
+			}
+			if nabs > tol && nabs >= abs {
+				continue // side s is locked out wholesale this move
+			}
+			if c := buckets[s].Cursor(); c.Valid() && (bestV < 0 || c.Gain() > bestG) {
+				bestV, bestG = c.V(), c.Gain()
+			}
+		}
+		return bestV
+	}
 	for s := 0; s < 2; s++ {
 		for c := buckets[s].Cursor(); c.Valid(); c.Next() {
 			v, gain := c.V(), c.Gain()

@@ -1,0 +1,46 @@
+package fm
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// TestParallelInitIdentity pins the parallel bucket filling to the
+// serial reference: same sides, same cut, same statistics.
+func TestParallelInitIdentity(t *testing.T) {
+	saved := ParallelMinVertices
+	ParallelMinVertices = 1
+	defer func() { ParallelMinVertices = saved }()
+
+	g, err := gen.GNP(1200, 0.01, rng.NewFib(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts Options) ([]uint8, Stats) {
+		b := partition.NewRandom(g, rng.NewFib(43))
+		if opts.Workspace != nil {
+			defer opts.Workspace.Close()
+		}
+		st, err := Refine(b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Sides(), st
+	}
+	refSides, refStats := run(Options{})
+	for _, degree := range []int{2, 4} {
+		w := NewRefiner()
+		sides, stats := run(Options{ParallelDegree: degree, Workspace: w})
+		if stats != refStats {
+			t.Fatalf("degree %d: stats differ: %+v vs %+v", degree, stats, refStats)
+		}
+		for v := range sides {
+			if sides[v] != refSides[v] {
+				t.Fatalf("degree %d: side of vertex %d differs", degree, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// StreamGNP enumerates the edges of 𝒢np(n, p) in pair-index order,
+// calling emit(u, v) once per edge with u < v, without materializing
+// the graph — O(1) working memory regardless of n. It consumes r
+// exactly as GNP does, so two passes over fresh sources seeded alike
+// visit the identical edge set: one pass to count (for a format header
+// that needs m up front), one to write. Returns the number of edges
+// emitted.
+func StreamGNP(n int, p float64, r *rng.Rand, emit func(u, v int32) error) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("gen: GNP with negative n=%d", n)
+	}
+	if n > graph.MaxVertices {
+		return 0, fmt.Errorf("gen: GNP with n=%d exceeds vertex limit %d", n, graph.MaxVertices)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("gen: GNP with p=%v outside [0,1]", p)
+	}
+	var m int64
+	var err error
+	if p > 0 {
+		total := int64(n) * int64(n-1) / 2
+		forEachSkippedIndex(total, p, r, func(k int64) {
+			if err != nil {
+				return
+			}
+			u, v := pairFromIndex(k)
+			if e := emit(int32(u), int32(v)); e != nil {
+				err = e
+				return
+			}
+			m++
+		})
+	}
+	if err != nil {
+		return 0, err
+	}
+	return m, nil
+}

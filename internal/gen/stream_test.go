@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestStreamGNPMatchesGNP pins the streaming enumerator to the
+// materializing generator: same seed, same edge set, and the two-pass
+// protocol (count with one source, write with a fresh one) agrees with
+// itself.
+func TestStreamGNPMatchesGNP(t *testing.T) {
+	const n, p, seed = 500, 0.01, 7
+	g, err := GNP(n, p, rng.NewFib(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int32]bool{}
+	g.Edges(func(u, v, w int32) { want[[2]int32{u, v}] = true })
+
+	got := map[[2]int32]bool{}
+	m, err := StreamGNP(n, p, rng.NewFib(seed), func(u, v int32) error {
+		if u >= v {
+			t.Fatalf("edge {%d,%d} not emitted with u < v", u, v)
+		}
+		got[[2]int32{u, v}] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(m) != len(got) || len(got) != len(want) {
+		t.Fatalf("stream emitted %d edges (%d distinct), GNP has %d", m, len(got), len(want))
+	}
+	for e := range want {
+		if !got[e] {
+			t.Fatalf("edge {%d,%d} missing from stream", e[0], e[1])
+		}
+	}
+
+	// Count-only pass over a fresh source sees the same m.
+	m2, err := StreamGNP(n, p, rng.NewFib(seed), func(u, v int32) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatalf("count pass saw %d edges, write pass %d", m2, m)
+	}
+}
+
+// TestStreamGNPPropagatesEmitError checks the enumerator stops counting
+// and surfaces the sink's error.
+func TestStreamGNPPropagatesEmitError(t *testing.T) {
+	sink := errors.New("sink full")
+	if _, err := StreamGNP(200, 0.1, rng.NewFib(1), func(u, v int32) error { return sink }); !errors.Is(err, sink) {
+		t.Fatalf("got %v, want sink error", err)
+	}
+	if _, err := StreamGNP(-1, 0.5, rng.NewFib(1), nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := StreamGNP(10, 1.5, rng.NewFib(1), nil); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzCompactCSREquivalence pins the two offset representations to each
+// other: the same edge multiset built compact (int32 offsets, the
+// default), built wide through the DisableCompactCSR ablation, and
+// adopted wide through FromCSR64 must agree on every accessor — vertex
+// and edge counts, degrees, neighbor lists, pairwise edge weights — and
+// on the cut of a fixed bisection, which is what the refinement
+// algorithms ultimately compute from them.
+func FuzzCompactCSREquivalence(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 1, 2, 3, 2, 3, 1, 0, 3, 200})
+	f.Add([]byte{2, 0, 1, 255})
+	f.Add([]byte{64, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		n := int(data[0])%64 + 2
+		type triple struct{ u, v, w int32 }
+		var edges []triple
+		for rest := data[1:]; len(rest) >= 3; rest = rest[3:] {
+			u := int32(rest[0]) % int32(n)
+			v := int32(rest[1]) % int32(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, triple{u, v, int32(rest[2])%7 + 1})
+		}
+		build := func(wide bool) *Graph {
+			saved := DisableCompactCSR
+			DisableCompactCSR = wide
+			defer func() { DisableCompactCSR = saved }()
+			b := NewBuilder(n)
+			for _, e := range edges {
+				b.AddWeightedEdge(e.u, e.v, e.w)
+			}
+			g, err := b.Build()
+			if err != nil {
+				t.Fatalf("Build(wide=%v): %v", wide, err)
+			}
+			return g
+		}
+		compact := build(false)
+		wide := build(true)
+		if !compact.Compact() || wide.Compact() {
+			t.Fatalf("representations: compact.Compact()=%v wide.Compact()=%v", compact.Compact(), wide.Compact())
+		}
+		// Third form: the compact graph's own CSR arrays adopted wide.
+		adopted, err := FromCSR64(widenOffsets(compact.off), append([]Edge(nil), compact.edges...), nil)
+		if err != nil {
+			t.Fatalf("FromCSR64: %v", err)
+		}
+		for _, g := range []*Graph{compact, wide, adopted} {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+		}
+		check := func(name string, a, b *Graph) {
+			t.Helper()
+			if a.N() != b.N() || a.M() != b.M() || a.TotalEdgeWeight() != b.TotalEdgeWeight() ||
+				a.MaxDegree() != b.MaxDegree() || a.MaxWeightedDegree() != b.MaxWeightedDegree() {
+				t.Fatalf("%s: aggregate mismatch: %v vs %v", name, a, b)
+			}
+			for v := int32(0); int(v) < n; v++ {
+				if a.Degree(v) != b.Degree(v) || a.WeightedDegree(v) != b.WeightedDegree(v) {
+					t.Fatalf("%s: degree mismatch at %d", name, v)
+				}
+				na, nb := a.Neighbors(v), b.Neighbors(v)
+				if len(na) != len(nb) {
+					t.Fatalf("%s: neighbor count mismatch at %d", name, v)
+				}
+				for i := range na {
+					if na[i] != nb[i] {
+						t.Fatalf("%s: neighbors of %d differ at slot %d: %v vs %v", name, v, i, na[i], nb[i])
+					}
+				}
+			}
+			for u := int32(0); int(u) < n; u++ {
+				for v := int32(0); int(v) < n; v++ {
+					if a.EdgeWeight(u, v) != b.EdgeWeight(u, v) {
+						t.Fatalf("%s: EdgeWeight(%d,%d) differs", name, u, v)
+					}
+				}
+			}
+			if ca, cb := fixedCut(a), fixedCut(b); ca != cb {
+				t.Fatalf("%s: fixed-bisection cut differs: %d vs %d", name, ca, cb)
+			}
+			var ea, eb bytes.Buffer
+			a.Edges(func(u, v, w int32) { fmt.Fprintf(&ea, "%d %d %d\n", u, v, w) })
+			b.Edges(func(u, v, w int32) { fmt.Fprintf(&eb, "%d %d %d\n", u, v, w) })
+			if !bytes.Equal(ea.Bytes(), eb.Bytes()) {
+				t.Fatalf("%s: Edges enumeration differs", name)
+			}
+		}
+		check("compact-vs-wide", compact, wide)
+		check("compact-vs-adopted", compact, adopted)
+	})
+}
+
+// fixedCut computes the cut of the parity bisection (side = v mod 2)
+// straight from the edge enumeration.
+func fixedCut(g *Graph) int64 {
+	var cut int64
+	g.Edges(func(u, v, w int32) {
+		if u&1 != v&1 {
+			cut += int64(w)
+		}
+	})
+	return cut
+}

@@ -99,20 +99,22 @@ func FromCSR(off []int32, edges []Edge, vw []int32) (*Graph, error) {
 		SortEdges(edges[off[v]:off[v+1]])
 	}
 	g := &Graph{}
+	if DisableCompactCSR {
+		// Ablation: widen the offsets and land on the int64
+		// representation; everything else (validation, aggregates,
+		// results) is identical.
+		if err := g.resetCSR64(widenOffsets(off), edges, vw); err != nil {
+			return nil, err
+		}
+		return g, checkSymmetry(g)
+	}
 	if err := g.ResetCSR(off, edges, vw); err != nil {
 		return nil, err
 	}
 	// ResetCSR proved each row simple and clean; symmetry is the one
 	// cross-row invariant left. Checking every half-edge's mirror covers
 	// both missing and weight-mismatched reverse entries.
-	for u := int32(0); int(u) < n; u++ {
-		for _, e := range g.Neighbors(u) {
-			if w := g.EdgeWeight(e.To, u); w != e.W {
-				return nil, fmt.Errorf("graph: asymmetric edge {%d,%d}: %d vs %d", u, e.To, e.W, w)
-			}
-		}
-	}
-	return g, nil
+	return g, checkSymmetry(g)
 }
 
 // ResetCSR re-initializes g in place from CSR arrays whose rows are
@@ -212,6 +214,7 @@ func (g *Graph) ResetCSR(off []int32, edges []Edge, vw []int32) error {
 	}
 	g.n = n
 	g.off = off
+	g.off64 = nil
 	g.edges = edges
 	g.vw = vw
 	g.m = m

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package graph
+
+// openMapped on hosts without mmap support reads the whole file into an
+// aligned buffer: same validation, same semantics, one copy slower.
+func openMapped(path string) (data []byte, release func() error, err error) {
+	data, err = readAligned(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

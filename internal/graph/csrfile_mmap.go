@@ -1,0 +1,37 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// openMapped memory-maps path read-only. The mapping is page-aligned
+// (so every 8-byte-aligned section offset stays aligned) and shared, so
+// the kernel pages the CSR in on demand — opening a multi-gigabyte
+// instance costs the validation sweep, not a copy. The file descriptor
+// is closed immediately; the mapping keeps the pages alive until the
+// release function runs.
+func openMapped(path string) (data []byte, release func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap rejects empty files; serve a zero-length buffer (the
+		// parser will reject it as truncated, with a better message).
+		return []byte{}, func() error { return nil }, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,187 @@
+package graph
+
+import "fmt"
+
+// This file holds the wide (int64-offset) CSR representation's
+// constructors and the knob that selects between the two forms.
+//
+// The compact form (int32 offsets) is the default and the fast path:
+// half the offset memory, twice the offsets per cache line. It covers
+// every graph with fewer than 2³¹ half-edges — all of the paper's
+// instances and everything up to hundreds of millions of edges. The
+// wide form exists so the same accessors keep working beyond that, and
+// as the reference representation the compact one is fuzz-checked
+// against (FuzzCompactCSREquivalence).
+
+// maxCompactHalfEdges is the largest half-edge count the compact
+// (int32-offset) representation can index.
+const maxCompactHalfEdges = 1<<31 - 1
+
+// DisableCompactCSR forces every graph subsequently constructed through
+// Builder.Build or FromCSR onto the wide (int64-offset) representation.
+// Results are identical either way — the accessors hide the offset
+// width — only memory layout and cache behavior differ. This is an
+// ablation/testing knob in the spirit of coarsen.DisableDirectCSR; it
+// is read at construction time and must not be flipped concurrently
+// with graph building. The contraction kernel's trusted ResetCSR path
+// is unaffected: coarse graphs are strictly smaller than their fine
+// graph and always fit the compact form.
+var DisableCompactCSR bool
+
+// FromCSR64 is FromCSR for wide (int64) offset arrays: the same
+// validation, sorting, and adoption contract, producing a graph on the
+// wide representation regardless of whether the half-edges would fit
+// the compact one. Use it to hold the wide form fixed in equivalence
+// tests; ordinary construction goes through Builder or FromCSR, which
+// pick the representation automatically.
+func FromCSR64(off []int64, edges []Edge, vw []int32) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR64 needs at least one offset entry")
+	}
+	n := len(off) - 1
+	if n > MaxVertices {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds limit %d", n, MaxVertices)
+	}
+	if off[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR64 offsets start at %d, not 0", off[0])
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return nil, fmt.Errorf("graph: FromCSR64 offsets decrease at vertex %d", v)
+		}
+	}
+	if off[n] != int64(len(edges)) {
+		return nil, fmt.Errorf("graph: FromCSR64 offsets cover %d half-edges, got %d", off[n], len(edges))
+	}
+	for v := 0; v < n; v++ {
+		SortEdges(edges[off[v]:off[v+1]])
+	}
+	g := &Graph{}
+	if err := g.resetCSR64(off, edges, vw); err != nil {
+		return nil, err
+	}
+	return g, checkSymmetry(g)
+}
+
+// checkSymmetry verifies the one cross-row invariant the per-row sweeps
+// cannot: every half-edge's mirror exists with equal weight.
+func checkSymmetry(g *Graph) error {
+	for u := int32(0); int(u) < g.n; u++ {
+		for _, e := range g.Neighbors(u) {
+			if w := g.EdgeWeight(e.To, u); w != e.W {
+				return fmt.Errorf("graph: asymmetric edge {%d,%d}: %d vs %d", u, e.To, e.W, w)
+			}
+		}
+	}
+	return nil
+}
+
+// resetCSR64 is ResetCSR on the wide representation: per-row structural
+// validation (sortedness, head range, no self-loops, positive weights)
+// fused into the aggregate sweep, adopting the arrays without copying.
+// Adjacency symmetry is the caller's contract, exactly as in ResetCSR.
+func (g *Graph) resetCSR64(off []int64, edges []Edge, vw []int32) error {
+	if len(off) == 0 {
+		return fmt.Errorf("graph: resetCSR64 needs at least one offset entry")
+	}
+	n := len(off) - 1
+	if n > MaxVertices {
+		return fmt.Errorf("graph: vertex count %d exceeds limit %d", n, MaxVertices)
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("graph: resetCSR64 offsets start at %d, not 0", off[0])
+	}
+	if off[n] != int64(len(edges)) {
+		return fmt.Errorf("graph: resetCSR64 offsets cover %d half-edges, got %d", off[n], len(edges))
+	}
+	if vw != nil && len(vw) != n {
+		return fmt.Errorf("graph: resetCSR64 vertex weights have %d entries for %d vertices", len(vw), n)
+	}
+	if cap(g.wdeg) < n {
+		g.wdeg = make([]int64, n)
+	} else {
+		g.wdeg = g.wdeg[:n]
+	}
+	var (
+		m       int
+		ew      int64
+		maxDeg  int
+		maxWDeg int64
+	)
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if hi < lo {
+			return fmt.Errorf("graph: resetCSR64 offsets decrease at vertex %d", v)
+		}
+		if d := int(hi - lo); d > maxDeg {
+			maxDeg = d
+		}
+		var wd int64
+		prev := int32(-1)
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.To < 0 || int(e.To) >= n {
+				return fmt.Errorf("graph: vertex %d has neighbor %d out of range [0,%d)", v, e.To, n)
+			}
+			if int(e.To) == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if e.To <= prev {
+				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted at %d", v, e.To)
+			}
+			if e.W <= 0 {
+				return fmt.Errorf("graph: non-positive weight %d on edge {%d,%d}", e.W, v, e.To)
+			}
+			prev = e.To
+			wd += int64(e.W)
+			if int(e.To) > v {
+				m++
+				ew += int64(e.W)
+			}
+		}
+		g.wdeg[v] = wd
+		if wd > maxWDeg {
+			maxWDeg = wd
+		}
+	}
+	if 2*m != len(edges) {
+		return fmt.Errorf("graph: resetCSR64 half-edge count %d is not twice the %d forward edges (asymmetric input)", len(edges), m)
+	}
+	var vwUp int64
+	var maxVW int32 = 1
+	if vw != nil {
+		for v, w := range vw {
+			if w <= 0 {
+				return fmt.Errorf("graph: non-positive vertex weight %d at vertex %d", w, v)
+			}
+			vwUp += int64(w)
+			if w > maxVW {
+				maxVW = w
+			}
+		}
+	} else {
+		vwUp = int64(n)
+	}
+	g.n = n
+	g.off = nil
+	g.off64 = off
+	g.edges = edges
+	g.vw = vw
+	g.m = m
+	g.ew = ew
+	g.vwUp = vwUp
+	g.maxDeg = maxDeg
+	g.maxWDeg = maxWDeg
+	g.maxVW = maxVW
+	return nil
+}
+
+// widenOffsets converts compact offsets to wide ones; used by FromCSR
+// when DisableCompactCSR routes construction onto the wide form.
+func widenOffsets(off []int32) []int64 {
+	out := make([]int64, len(off))
+	for i, o := range off {
+		out[i] = int64(o)
+	}
+	return out
+}

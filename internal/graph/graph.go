@@ -38,9 +38,18 @@ type Edge struct {
 
 // Graph is an immutable weighted undirected simple graph. Construct one
 // with a Builder or a generator from internal/gen.
+//
+// Two CSR offset representations exist behind the same accessors: the
+// compact one (int32 offsets, half the index memory, the default
+// whenever the half-edge count fits) and the wide one (int64 offsets,
+// required once a graph carries 2³¹ or more half-edges). Exactly one of
+// off/off64 is non-nil on a built graph; every accessor branches on
+// that, so algorithms never see the difference. DisableCompactCSR
+// forces the wide representation for ablation and equivalence testing.
 type Graph struct {
 	n     int
-	off   []int32 // CSR offsets: v's half-edges are edges[off[v]:off[v+1]]
+	off   []int32 // compact CSR offsets: v's half-edges are edges[off[v]:off[v+1]]
+	off64 []int64 // wide CSR offsets; nil when the compact form is in use
 	edges []Edge  // all half-edges, each list sorted by To
 	vw    []int32
 	wdeg  []int64 // cached weighted degree per vertex
@@ -65,8 +74,17 @@ func (g *Graph) TotalEdgeWeight() int64 { return g.ew }
 // TotalVertexWeight returns the sum of all vertex weights.
 func (g *Graph) TotalVertexWeight() int64 { return g.vwUp }
 
+// Compact reports whether the graph uses the compact (int32-offset) CSR
+// representation. The empty graph counts as compact.
+func (g *Graph) Compact() bool { return g.off64 == nil }
+
 // Degree returns the number of neighbors of v.
-func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
+func (g *Graph) Degree(v int32) int {
+	if g.off != nil {
+		return int(g.off[v+1] - g.off[v])
+	}
+	return int(g.off64[v+1] - g.off64[v])
+}
 
 // WeightedDegree returns the sum of edge weights incident to v (cached at
 // Build time; O(1)).
@@ -86,7 +104,19 @@ func (g *Graph) MaxVertexWeight() int32 { return g.maxVW }
 // returned slice aliases the graph's CSR storage and must not be
 // modified.
 func (g *Graph) Neighbors(v int32) []Edge {
-	return g.edges[g.off[v]:g.off[v+1]:g.off[v+1]]
+	if g.off != nil {
+		return g.edges[g.off[v]:g.off[v+1]:g.off[v+1]]
+	}
+	return g.edges[g.off64[v]:g.off64[v+1]:g.off64[v+1]]
+}
+
+// rowBounds returns the half-edge index range of v's row in whichever
+// offset representation the graph uses.
+func (g *Graph) rowBounds(v int32) (lo, hi int) {
+	if g.off != nil {
+		return int(g.off[v]), int(g.off[v+1])
+	}
+	return int(g.off64[v]), int(g.off64[v+1])
 }
 
 // VertexWeight returns the weight of v (1 for plain graphs).
@@ -122,8 +152,8 @@ const edgeWeightSearchMin = 8
 // lists are sorted by head vertex, so this is a binary search on the
 // smaller endpoint's list (with a linear scan below a small cutoff).
 func (g *Graph) EdgeWeight(u, v int32) int32 {
-	lo, hi := g.off[u], g.off[u+1]
-	if l2, h2 := g.off[v], g.off[v+1]; h2-l2 < hi-lo {
+	lo, hi := g.rowBounds(u)
+	if l2, h2 := g.rowBounds(v); h2-l2 < hi-lo {
 		lo, hi, v = l2, h2, u
 	}
 	if hi-lo <= edgeWeightSearchMin {
@@ -154,7 +184,7 @@ func (g *Graph) MaxDegree() int { return g.maxDeg }
 // Edges calls fn once per undirected edge {u,v} with u < v.
 func (g *Graph) Edges(fn func(u, v int32, w int32)) {
 	for u := 0; u < g.n; u++ {
-		for _, e := range g.edges[g.off[u]:g.off[u+1]] {
+		for _, e := range g.Neighbors(int32(u)) {
 			if int32(u) < e.To {
 				fn(int32(u), e.To, e.W)
 			}
@@ -166,6 +196,7 @@ func (g *Graph) Edges(fn func(u, v int32, w int32)) {
 func (g *Graph) Clone() *Graph {
 	c := *g
 	c.off = append([]int32(nil), g.off...)
+	c.off64 = append([]int64(nil), g.off64...)
 	c.edges = append([]Edge(nil), g.edges...)
 	c.wdeg = append([]int64(nil), g.wdeg...)
 	if g.vw != nil {
@@ -179,7 +210,14 @@ func (g *Graph) Clone() *Graph {
 // weights, and consistent cached totals. It returns the first violation
 // found.
 func (g *Graph) Validate() error {
-	if len(g.off) != g.n+1 && !(g.n == 0 && len(g.off) == 0) {
+	if g.off != nil && g.off64 != nil {
+		return fmt.Errorf("graph: both compact and wide offset arrays populated")
+	}
+	if g.off64 != nil {
+		if len(g.off64) != g.n+1 {
+			return fmt.Errorf("graph: wide offset array has %d entries for %d vertices", len(g.off64), g.n)
+		}
+	} else if len(g.off) != g.n+1 && !(g.n == 0 && len(g.off) == 0) {
 		return fmt.Errorf("graph: offset array has %d entries for %d vertices", len(g.off), g.n)
 	}
 	var m int
@@ -273,11 +311,12 @@ type Builder struct {
 }
 
 // MaxVertices bounds graph sizes accepted by Builder (and therefore by
-// every parser): 2²² ≈ 4.2M vertices. The cap exists so that malformed
+// every parser): 2²⁴ ≈ 16.8M vertices. The cap exists so that malformed
 // or hostile inputs declaring absurd vertex counts fail fast instead of
-// exhausting memory; it is three orders of magnitude above the paper's
-// instances.
-const MaxVertices = 1 << 22
+// exhausting memory; it accommodates the 10^6–10^7-vertex instances the
+// scale-up work targets while staying four orders of magnitude above
+// the paper's instances.
+const MaxVertices = 1 << 24
 
 // NewBuilder returns a Builder for a graph on n vertices with unit vertex
 // weights.
@@ -383,14 +422,27 @@ func (b *Builder) Build() (*Graph, error) {
 		deg[v]++
 	}
 	// CSR offsets by prefix sum, then scatter the half-edges with a
-	// per-vertex cursor.
-	g.off = make([]int32, b.n+1)
-	for v := 0; v < b.n; v++ {
-		g.off[v+1] = g.off[v] + deg[v]
+	// per-vertex cursor. The compact (int32) offsets are used whenever
+	// the half-edge count fits; DisableCompactCSR (or 2³¹+ half-edges)
+	// selects the wide (int64) representation, which every accessor
+	// serves through the same code paths.
+	if DisableCompactCSR || 2*len(merged) > maxCompactHalfEdges {
+		g.off64 = make([]int64, b.n+1)
+		for v := 0; v < b.n; v++ {
+			g.off64[v+1] = g.off64[v] + int64(deg[v])
+		}
+	} else {
+		g.off = make([]int32, b.n+1)
+		for v := 0; v < b.n; v++ {
+			g.off[v+1] = g.off[v] + deg[v]
+		}
 	}
 	g.edges = make([]Edge, 2*len(merged))
-	cur := make([]int32, b.n)
-	copy(cur, g.off[:b.n])
+	cur := make([]int64, b.n)
+	for v := 0; v < b.n; v++ {
+		lo, _ := g.rowBounds(int32(v))
+		cur[v] = int64(lo)
+	}
 	for _, t := range merged {
 		g.edges[cur[t.u]] = Edge{To: t.v, W: t.w}
 		cur[t.u]++
@@ -405,13 +457,14 @@ func (b *Builder) Build() (*Graph, error) {
 	// sort each list once to establish the by-To order EdgeWeight relies
 	// on.
 	for v := 0; v < b.n; v++ {
-		a := g.edges[g.off[v]:g.off[v+1]]
+		lo, hi := g.rowBounds(int32(v))
+		a := g.edges[lo:hi]
 		sort.Slice(a, func(i, j int) bool { return a[i].To < a[j].To })
 	}
 	g.wdeg = make([]int64, b.n)
 	for v := 0; v < b.n; v++ {
 		var wd int64
-		for _, e := range g.edges[g.off[v]:g.off[v+1]] {
+		for _, e := range g.Neighbors(int32(v)) {
 			wd += int64(e.W)
 		}
 		g.wdeg[v] = wd

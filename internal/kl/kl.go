@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/rng"
 	"repro/internal/runctl"
@@ -51,6 +52,19 @@ type Options struct {
 	// pair instead. Results (including the ScannedPairs stat) are
 	// identical; only running time changes. Used by the KL-scan ablation.
 	DisableScratch bool
+	// DisableBlockedScan turns off the cache-blocked pair scan that
+	// memoizes the descending B-side sequence into a flat array and
+	// walks the linked gain buckets for every candidate pair instead.
+	// Results (including ScannedPairs) are identical; only running time
+	// changes. Used by the KL-scan ablation.
+	DisableBlockedScan bool
+	// ParallelDegree, when > 1, fills the two gain-bucket structures of
+	// each pass concurrently (one worker per side) for graphs with at
+	// least ParallelMinVertices vertices. Results are identical at any
+	// degree — each side's buckets are filled serially in vertex order
+	// either way. The two-worker pool attaches to the Workspace; reuse
+	// one (and Close it) to amortize.
+	ParallelDegree int
 	// Workspace, when non-nil, supplies the reusable pass state (gain
 	// buckets, swap log, scratch stamps) so repeated runs allocate
 	// nothing. A nil Workspace makes Run/Refine/Pass allocate a private
@@ -105,6 +119,44 @@ type Refiner struct {
 	// scan's connectivity lookup is a single aligned load.
 	scratch []uint64
 	epoch   uint32
+	// bseq memoizes the descending (gain, vertex) B-side sequence within
+	// one selectPair, packed gain-high/vertex-low, so replays for later
+	// A-candidates read a flat array instead of chasing bucket links.
+	bseq []uint64
+	// Two-worker pool for the parallel bucket init (Options.ParallelDegree),
+	// created lazily, released by Close; pb carries the bisection to the
+	// pre-bound shard closure.
+	pool   *par.Pool
+	initFn func(int)
+	pb     *partition.Bisection
+}
+
+// ParallelMinVertices is the graph size below which the bucket init
+// stays serial even when Options.ParallelDegree asks for workers. A
+// variable only so tests can lower it.
+var ParallelMinVertices = 1 << 15
+
+// Close releases the pool created for parallel bucket filling (if any).
+// The Refiner remains usable afterwards.
+func (w *Refiner) Close() {
+	if w.pool != nil {
+		w.pool.Close()
+		w.pool = nil
+	}
+}
+
+// initShard fills side s's gain buckets in vertex order — exactly the
+// serial insertion order restricted to one side, so the LIFO bucket
+// layout (and every downstream decision) is identical.
+func (w *Refiner) initShard(s int) {
+	side, gain := w.pb.SidesRef(), w.pb.GainsRef()
+	bk := &w.buckets[s]
+	us := uint8(s)
+	for v, sv := range side {
+		if sv == us {
+			bk.Add(int32(v), gain[v])
+		}
+	}
 }
 
 // NewRefiner returns an empty workspace. Equivalent to new(Refiner);
@@ -247,8 +299,18 @@ func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64,
 		return 0, 0, 0, err
 	}
 	buckets := [2]*partition.GainBuckets{&w.buckets[0], &w.buckets[1]}
-	for v := int32(0); int(v) < n; v++ {
-		buckets[b.Side(v)].Add(v, b.Gain(v))
+	if opts.ParallelDegree > 1 && n >= ParallelMinVertices {
+		if w.pool == nil {
+			w.pool = par.New(2)
+			w.initFn = w.initShard
+		}
+		w.pb = b
+		w.pool.Run(2, w.initFn)
+		w.pb = nil
+	} else {
+		for v := int32(0); int(v) < n; v++ {
+			buckets[b.Side(v)].Add(v, b.Gain(v))
+		}
 	}
 	steps := buckets[0].Len()
 	if l := buckets[1].Len(); l < steps {
@@ -338,6 +400,9 @@ func (w *Refiner) selectPair(b *partition.Bisection, buckets [2]*partition.GainB
 	if buckets[0].Len() == 0 || buckets[1].Len() == 0 {
 		return -1, -1, 0, 0
 	}
+	if !opts.DisableBlockedScan {
+		return w.selectPairBlocked(b, buckets, opts)
+	}
 	g := b.Graph()
 	noPrune := opts.DisablePruning
 	useScratch := !opts.DisableScratch
@@ -377,6 +442,72 @@ func (w *Refiner) selectPair(b *partition.Bisection, buckets [2]*partition.GainB
 			}
 		}
 	}
+	if first {
+		return -1, -1, 0, scanned
+	}
+	return bestA, bestB, best, scanned
+}
+
+// selectPairBlocked is selectPair with the B-side candidate sequence
+// memoized into a flat packed array as the bucket cursor first produces
+// it: later A-candidates replay their (pruned) prefix from contiguous
+// memory instead of re-chasing the gain buckets' linked entries. The
+// candidate order — and with it every pruning decision, the selected
+// pair, and the scanned count — is exactly the cursor path's; bucket
+// gains fit int32 (the bucket span is capped far below that), so the
+// (gain, vertex) packing is lossless.
+func (w *Refiner) selectPairBlocked(b *partition.Bisection, buckets [2]*partition.GainBuckets, opts Options) (a, bv int32, gain int64, scanned int64) {
+	g := b.Graph()
+	noPrune := opts.DisablePruning
+	useScratch := !opts.DisableScratch
+	_, maxB, _ := buckets[1].Max()
+	first := true
+	var bestA, bestB int32
+	var best int64
+	scratch := w.scratch
+	bseq := w.bseq[:0]
+	cb := buckets[1].Cursor()
+	for ca := buckets[0].Cursor(); ca.Valid(); ca.Next() {
+		av, ga := ca.V(), ca.Gain()
+		if !noPrune && !first && ga+maxB <= best {
+			break // no a beyond this point can beat best
+		}
+		var cur uint64
+		if useScratch {
+			cur = uint64(w.stamp(g, av)) << 32
+		}
+		for i := 0; ; i++ {
+			if i == len(bseq) {
+				if !cb.Valid() {
+					break
+				}
+				bseq = append(bseq, uint64(uint32(int32(cb.Gain())))<<32|uint64(uint32(cb.V())))
+				cb.Next()
+			}
+			q := bseq[i]
+			gb := int64(int32(uint32(q >> 32)))
+			bvv := int32(uint32(q))
+			if !noPrune && !first && ga+gb <= best {
+				break
+			}
+			scanned++
+			var ew int64
+			if useScratch {
+				if s := scratch[bvv]; s&^0xFFFFFFFF == cur {
+					ew = int64(int32(uint32(s)))
+				}
+			} else {
+				ew = int64(g.EdgeWeight(av, bvv))
+			}
+			pg := ga + gb - 2*ew
+			if first || pg > best {
+				first = false
+				best = pg
+				bestA, bestB = av, bvv
+			}
+		}
+	}
+	w.bseq = bseq // keep the grown capacity for the next selection
 	if first {
 		return -1, -1, 0, scanned
 	}

@@ -1,0 +1,222 @@
+package matching
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// This file parallelizes the maximal-matching kernels with a
+// deterministic handshake algorithm. The serial greedy sweeps are
+// inherently sequential — each decision reads all earlier ones — so the
+// parallel path runs a different, round-based algorithm whose output
+// depends only on the graph and one RNG draw, never on the shard count
+// or interleaving:
+//
+//  1. One r.Uint64() draw seeds a splitmix64 stream assigning every
+//     vertex a fixed priority.
+//  2. Propose round (parallel over vertex shards): every unmatched
+//     vertex picks one unmatched neighbor — the minimum-priority one
+//     for RandomMaximal, the heaviest edge with priority tie-breaking
+//     for HeavyEdge.
+//  3. Resolve round (parallel): mutual proposals become matches. The
+//     smaller endpoint writes both mate entries, so every slot has a
+//     unique writer and no synchronization beyond the phase barrier is
+//     needed.
+//
+// Progress: among unmatched vertices that still have an unmatched
+// neighbor, consider the globally minimum-priority one, v. Whatever
+// neighbor w vertex v proposes to must propose back — all of w's
+// unmatched neighbors are candidates and v beats them all — so every
+// round matches at least one pair, and a round that matches nothing
+// proves the matching maximal. (For HeavyEdge the same argument runs
+// inside the top weight tier.) Random instances finish in O(log n)
+// rounds.
+//
+// The parallel result differs from the serial greedy stream — that is
+// why it only engages above ParallelMinVertices and with an attached
+// pool, keeping the fixture-pinned small-instance behavior bit-exact.
+
+// ParallelMinVertices is the vertex count below which matching stays on
+// the serial path even when a pool is attached: handshake rounds on tiny
+// graphs cost more in barriers than they save. It is a variable only so
+// tests can lower it; production code should treat it as a constant.
+var ParallelMinVertices = 1 << 15
+
+// SetParallel attaches a pool of the given degree to the workspace,
+// enabling the parallel matching path for graphs with at least
+// ParallelMinVertices vertices. Degree ≤ 1 detaches (and closes any
+// owned pool). The workspace owns the resulting pool; Close releases it.
+func (w *Workspace) SetParallel(degree int) {
+	w.releasePool()
+	w.pool = par.New(degree)
+	w.ownPool = w.pool != nil
+}
+
+// SetPool attaches a caller-owned pool (which may be shared with other
+// phases, e.g. the contraction kernel). The caller keeps responsibility
+// for closing it; a nil pool detaches.
+func (w *Workspace) SetPool(p *par.Pool) {
+	w.releasePool()
+	w.pool = p
+}
+
+// Close releases any pool owned by the workspace. The workspace remains
+// usable (serially) afterwards.
+func (w *Workspace) Close() { w.releasePool() }
+
+func (w *Workspace) releasePool() {
+	if w.ownPool {
+		w.pool.Close()
+	}
+	w.pool = nil
+	w.ownPool = false
+}
+
+// parallelActive reports whether the handshake path should run for an
+// n-vertex graph.
+func (w *Workspace) parallelActive(n int) bool {
+	return w.pool.Degree() > 1 && n >= ParallelMinVertices
+}
+
+// splitmix64 is the standard 64-bit finalizer used to derive per-vertex
+// priorities from the single seed draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// countStride spaces the per-shard match counters a cache line apart so
+// resolve shards don't false-share.
+const countStride = 8
+
+// ensurePar sizes the handshake buffers for an n-vertex graph and binds
+// the shard closures once, so steady-state parallel matching performs no
+// allocations.
+func (w *Workspace) ensurePar(n, shards int) {
+	if cap(w.prio) < n {
+		w.prio = make([]uint64, n)
+	}
+	w.prio = w.prio[:n]
+	if cap(w.prop) < n {
+		w.prop = make([]int32, n)
+	}
+	w.prop = w.prop[:n]
+	if cap(w.counts) < shards*countStride {
+		w.counts = make([]int64, shards*countStride)
+	}
+	w.counts = w.counts[:shards*countStride]
+	if w.prioFn == nil {
+		w.prioFn = w.prioShard
+		w.proposeRandFn = w.proposeRandShard
+		w.proposeHeavyFn = w.proposeHeavyShard
+		w.resolveFn = w.resolveShard
+	}
+}
+
+// shardRange splits [0, n) into near-equal contiguous shards.
+func shardRange(s, shards, n int) (lo, hi int) {
+	return s * n / shards, (s + 1) * n / shards
+}
+
+func (w *Workspace) prioShard(s int) {
+	lo, hi := shardRange(s, w.shards, len(w.prio))
+	for v := lo; v < hi; v++ {
+		w.prio[v] = splitmix64(w.seed + uint64(v))
+	}
+}
+
+func (w *Workspace) proposeRandShard(s int) {
+	g, mate, prio, prop := w.pg, w.mate, w.prio, w.prop
+	lo, hi := shardRange(s, w.shards, len(prop))
+	for v := lo; v < hi; v++ {
+		if mate[v] >= 0 {
+			prop[v] = -1
+			continue
+		}
+		best := int32(-1)
+		var bp uint64
+		for _, e := range g.Neighbors(int32(v)) {
+			if mate[e.To] >= 0 {
+				continue
+			}
+			if p := prio[e.To]; best < 0 || p < bp || (p == bp && e.To < best) {
+				best, bp = e.To, p
+			}
+		}
+		prop[v] = best
+	}
+}
+
+func (w *Workspace) proposeHeavyShard(s int) {
+	g, mate, prio, prop := w.pg, w.mate, w.prio, w.prop
+	lo, hi := shardRange(s, w.shards, len(prop))
+	for v := lo; v < hi; v++ {
+		if mate[v] >= 0 {
+			prop[v] = -1
+			continue
+		}
+		best := int32(-1)
+		bw := int32(-1)
+		var bp uint64
+		for _, e := range g.Neighbors(int32(v)) {
+			if mate[e.To] >= 0 {
+				continue
+			}
+			p := prio[e.To]
+			if e.W > bw || (e.W == bw && (p < bp || (p == bp && e.To < best))) {
+				best, bw, bp = e.To, e.W, p
+			}
+		}
+		prop[v] = best
+	}
+}
+
+func (w *Workspace) resolveShard(s int) {
+	mate, prop := w.mate, w.prop
+	lo, hi := shardRange(s, w.shards, len(prop))
+	var cnt int64
+	for v := int32(lo); v < int32(hi); v++ {
+		// A mutual proposal pairs v with prop[v]; the smaller endpoint
+		// writes both mate slots, giving each slot a unique writer.
+		if u := prop[v]; u > v && prop[u] == v {
+			mate[v] = u
+			mate[u] = v
+			cnt++
+		}
+	}
+	w.counts[s*countStride] = cnt
+}
+
+// parallelMatch runs the handshake algorithm. The mate buffer is already
+// reset by the caller; heavy selects the HeavyEdge proposal rule.
+func (w *Workspace) parallelMatch(g *graph.Graph, r *rng.Rand, heavy bool) []int32 {
+	shards := w.pool.Degree()
+	w.ensurePar(g.N(), shards)
+	w.pg = g
+	w.shards = shards
+	w.seed = r.Uint64()
+	w.pool.Run(shards, w.prioFn)
+	propose := w.proposeRandFn
+	if heavy {
+		propose = w.proposeHeavyFn
+	}
+	for {
+		w.pool.Run(shards, propose)
+		w.pool.Run(shards, w.resolveFn)
+		var total int64
+		for s := 0; s < shards; s++ {
+			total += w.counts[s*countStride]
+		}
+		if total == 0 {
+			break
+		}
+	}
+	w.pg = nil
+	return w.mate
+}

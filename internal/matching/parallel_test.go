@@ -1,0 +1,182 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// lowerThreshold drops ParallelMinVertices for the duration of a test so
+// moderate-sized instances exercise the handshake path.
+func lowerThreshold(t *testing.T, n int) {
+	t.Helper()
+	saved := ParallelMinVertices
+	ParallelMinVertices = n
+	t.Cleanup(func() { ParallelMinVertices = saved })
+}
+
+func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.GNP(n, 8.0/float64(n), rng.NewFib(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestParallelMatchValidMaximal checks the handshake output is a valid
+// maximal matching for both policies across degrees.
+func TestParallelMatchValidMaximal(t *testing.T) {
+	lowerThreshold(t, 1)
+	g := testGraph(t, 3000, 7)
+	for _, degree := range []int{2, 3, 4, 8} {
+		w := NewWorkspace()
+		w.SetParallel(degree)
+		defer w.Close()
+		for name, match := range map[string]func(*graph.Graph, *rng.Rand) []int32{
+			"random": w.RandomMaximal,
+			"heavy":  w.HeavyEdge,
+		} {
+			mate := match(g, rng.NewFib(11))
+			if err := Validate(g, mate); err != nil {
+				t.Fatalf("degree %d %s: %v", degree, name, err)
+			}
+			if !IsMaximal(g, mate) {
+				t.Fatalf("degree %d %s: matching not maximal", degree, name)
+			}
+		}
+	}
+}
+
+// TestParallelMatchDeterministicAcrossDegrees pins the handshake
+// contract: the matching depends on the seed, never on the shard count.
+func TestParallelMatchDeterministicAcrossDegrees(t *testing.T) {
+	lowerThreshold(t, 1)
+	g := testGraph(t, 2500, 21)
+	for _, heavy := range []bool{false, true} {
+		var ref []int32
+		for _, degree := range []int{2, 3, 5, 8} {
+			w := NewWorkspace()
+			w.SetParallel(degree)
+			r := rng.NewFib(99)
+			var mate []int32
+			if heavy {
+				mate = w.HeavyEdge(g, r)
+			} else {
+				mate = w.RandomMaximal(g, r)
+			}
+			if ref == nil {
+				ref = append([]int32(nil), mate...)
+			} else {
+				for v := range mate {
+					if mate[v] != ref[v] {
+						t.Fatalf("heavy=%v: degree %d diverges from degree 2 at vertex %d: %d vs %d",
+							heavy, degree, v, mate[v], ref[v])
+					}
+				}
+			}
+			w.Close()
+		}
+	}
+}
+
+// TestParallelThresholdKeepsSerialPath pins the gating: below the
+// threshold (or at degree 1) the workspace must produce exactly the
+// serial greedy result — the byte-identity contract behind the golden
+// fixtures.
+func TestParallelThresholdKeepsSerialPath(t *testing.T) {
+	g := testGraph(t, 2000, 5) // below the real 1<<15 threshold
+	serial := RandomMaximal(g, rng.NewFib(3))
+
+	w := NewWorkspace()
+	w.SetParallel(4)
+	defer w.Close()
+	got := w.RandomMaximal(g, rng.NewFib(3))
+	for v := range got {
+		if got[v] != serial[v] {
+			t.Fatalf("threshold gating failed: parallel-capable workspace diverged at vertex %d", v)
+		}
+	}
+
+	// Degree 1 attaches no pool at all, even above threshold.
+	lowerThreshold(t, 1)
+	w1 := NewWorkspace()
+	w1.SetParallel(1)
+	defer w1.Close()
+	got1 := w1.RandomMaximal(g, rng.NewFib(3))
+	for v := range got1 {
+		if got1[v] != serial[v] {
+			t.Fatalf("degree-1 workspace diverged at vertex %d", v)
+		}
+	}
+}
+
+// TestParallelMatchSharedPool checks SetPool: a caller-owned pool serves
+// the workspace and survives workspace Close.
+func TestParallelMatchSharedPool(t *testing.T) {
+	lowerThreshold(t, 1)
+	p := par.New(4)
+	defer p.Close()
+	g := testGraph(t, 1500, 13)
+
+	w := NewWorkspace()
+	w.SetPool(p)
+	mate := w.RandomMaximal(g, rng.NewFib(1))
+	if err := Validate(g, mate); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // must NOT close the shared pool
+
+	w2 := NewWorkspace()
+	w2.SetPool(p)
+	defer w2.Close()
+	mate2 := w2.HeavyEdge(g, rng.NewFib(2))
+	if err := Validate(g, mate2); err != nil {
+		t.Fatalf("pool unusable after first workspace closed: %v", err)
+	}
+}
+
+// TestParallelMatchSteadyAllocs gates the zero-allocation contract of
+// the handshake path (run by scripts/check.sh alongside the serial
+// workspace gate).
+func TestParallelMatchSteadyAllocs(t *testing.T) {
+	lowerThreshold(t, 1)
+	g := testGraph(t, 4000, 17)
+	w := NewWorkspace()
+	w.SetParallel(4)
+	defer w.Close()
+	r := rng.NewFib(23)
+	w.RandomMaximal(g, r) // warm-up sizes every buffer
+	w.HeavyEdge(g, r)
+	if avg := testing.AllocsPerRun(20, func() { w.RandomMaximal(g, r) }); avg != 0 {
+		t.Fatalf("parallel RandomMaximal allocates %.1f per run in steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() { w.HeavyEdge(g, r) }); avg != 0 {
+		t.Fatalf("parallel HeavyEdge allocates %.1f per run in steady state", avg)
+	}
+}
+
+func BenchmarkParallelRandomMaximal(b *testing.B) {
+	for _, degree := range []int{1, 2, 4, 8} {
+		name := map[int]string{1: "t1", 2: "t2", 4: "t4", 8: "t8"}[degree]
+		b.Run(name, func(b *testing.B) {
+			saved := ParallelMinVertices
+			ParallelMinVertices = 1
+			defer func() { ParallelMinVertices = saved }()
+			g := testGraph(b, 100000, 31)
+			w := NewWorkspace()
+			w.SetParallel(degree)
+			defer w.Close()
+			r := rng.NewFib(5)
+			w.RandomMaximal(g, r)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.RandomMaximal(g, r)
+			}
+		})
+	}
+}

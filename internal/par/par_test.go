@@ -1,0 +1,118 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversAllShards checks every shard index runs exactly once for
+// a spread of degrees and shard counts, including shards < degree and
+// shards ≫ degree.
+func TestRunCoversAllShards(t *testing.T) {
+	for _, degree := range []int{1, 2, 3, 8} {
+		p := New(degree)
+		for _, shards := range []int{0, 1, 2, 7, 64} {
+			hits := make([]atomic.Int64, shards+1)
+			p.Run(shards, func(s int) { hits[s].Add(1) })
+			for s := 0; s < shards; s++ {
+				if got := hits[s].Load(); got != 1 {
+					t.Fatalf("degree %d shards %d: shard %d ran %d times", degree, shards, s, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestNilPoolRunsInline pins the nil-pool contract: degree 1, inline
+// execution in shard order.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Degree() != 1 {
+		t.Fatalf("nil pool degree = %d, want 1", p.Degree())
+	}
+	var order []int
+	p.Run(4, func(s int) { order = append(order, s) })
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("inline order %v not sequential", order)
+		}
+	}
+	p.Close() // must not panic
+	if New(1) != nil || New(0) != nil {
+		t.Fatal("New(<=1) must return the nil inline pool")
+	}
+}
+
+// TestReuseAcrossRuns runs many joins on one pool; the sums must all be
+// exact (a lost or duplicated shard would skew them).
+func TestReuseAcrossRuns(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sum atomic.Int64
+	for round := 0; round < 200; round++ {
+		sum.Store(0)
+		p.Run(17, func(s int) { sum.Add(int64(s)) })
+		if got := sum.Load(); got != 17*16/2 {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, 17*16/2)
+		}
+	}
+}
+
+// TestShardPanicSurfacesAndPoolSurvives checks the panic-isolation
+// contract: Run panics with *PanicError after the join, and the pool
+// remains usable for subsequent runs.
+func TestShardPanicSurfacesAndPoolSurvives(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		p.Run(8, func(s int) {
+			if s == 5 {
+				panic("boom")
+			}
+		})
+	}()
+	pe, ok := recovered.(*PanicError)
+	if !ok {
+		t.Fatalf("recovered %T %v, want *PanicError", recovered, recovered)
+	}
+	if pe.Shard != 5 || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Shard:%d Value:%v stack %d bytes}", pe.Shard, pe.Value, len(pe.Stack))
+	}
+	if pe.Error() == "" {
+		t.Fatal("empty Error()")
+	}
+	// The pool must still join cleanly after a poisoned run.
+	var sum atomic.Int64
+	p.Run(10, func(s int) { sum.Add(1) })
+	if sum.Load() != 10 {
+		t.Fatalf("post-panic run covered %d/10 shards", sum.Load())
+	}
+}
+
+// TestRunSteadyStateZeroAlloc pins the pool's own zero-alloc contract:
+// a warm Run with a pre-bound closure must not touch the heap.
+func TestRunSteadyStateZeroAlloc(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sink [64]atomic.Int64
+	fn := func(s int) { sink[s].Add(1) } // bound once, outside the measured runs
+	p.Run(8, fn)                         // warm-up
+	allocs := testing.AllocsPerRun(50, func() { p.Run(8, fn) })
+	if allocs != 0 {
+		t.Fatalf("warm Run allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	p := New(4)
+	defer p.Close()
+	var sink [8]atomic.Int64
+	fn := func(s int) { sink[s].Add(1) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run(8, fn)
+	}
+}

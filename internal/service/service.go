@@ -350,6 +350,16 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	})
 }
 
+// writeErrLimit is writeErr with a machine-readable byte cap in the
+// error object, so a client that tripped a size limit can read the
+// server's actual configuration (-max-graph-bytes is deployment-
+// specific) instead of parsing the message text.
+func writeErrLimit(w http.ResponseWriter, status int, code, msg string, limit int64) {
+	writeJSON(w, status, map[string]any{
+		"error": map[string]any{"code": code, "message": msg, "limit_bytes": limit},
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -364,7 +374,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"queue": map[string]int{"depth": len(s.queue), "capacity": cap(s.queue)},
+		"queue":   map[string]int{"depth": len(s.queue), "capacity": cap(s.queue)},
 		"workers": s.cfg.Workers,
 		"jobs": map[string]int{
 			"queued":    counts[StateQueued],
@@ -392,8 +402,9 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeErr(w, http.StatusRequestEntityTooLarge, codeTooLarge,
-				fmt.Sprintf("graph upload exceeds %d bytes", s.cfg.MaxGraphBytes))
+			writeErrLimit(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("graph upload exceeds %d bytes", s.cfg.MaxGraphBytes),
+				s.cfg.MaxGraphBytes)
 			return
 		}
 		writeErr(w, http.StatusBadRequest, codeBadRequest, "reading body: "+err.Error())
@@ -642,4 +653,3 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, j.view())
 }
-

@@ -475,6 +475,18 @@ func TestErrorContract(t *testing.T) {
 	}
 	wantErr(t, http.MethodPost, ts.URL+"/v1/graphs", big.Bytes(), 413, codeTooLarge)
 
+	// The 413 body carries the configured cap so large-graph clients can
+	// self-diagnose against this deployment's -max-graph-bytes.
+	var limited struct {
+		Error struct {
+			LimitBytes int64 `json:"limit_bytes"`
+		} `json:"error"`
+	}
+	doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", big.Bytes(), &limited)
+	if limited.Error.LimitBytes != 256 {
+		t.Fatalf("413 limit_bytes = %d, want 256", limited.Error.LimitBytes)
+	}
+
 	// 400 on a bad wait_ms for a job that exists.
 	id := submitJob(t, ts, map[string]any{"graph": ref, "algorithm": "kl"})
 	wantErr(t, http.MethodGet, ts.URL+"/v1/jobs/"+id+"?wait_ms=-2", nil, 400, codeBadRequest)

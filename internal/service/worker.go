@@ -146,8 +146,8 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 	// Final run_done exactly as BestOf emits it: the kept cut under the
 	// composed driver name.
 	j.Observe(trace.Event{
-		Type: trace.TypeRunDone,
-		Algo: fmt.Sprintf("%s×%d", j.spec.Algorithm, j.spec.Starts),
+		Type:  trace.TypeRunDone,
+		Algo:  fmt.Sprintf("%s×%d", j.spec.Algorithm, j.spec.Starts),
 		Index: j.spec.Starts,
 		Cut:   best.Cut(), BestCut: best.Cut(), Imbalance: best.Imbalance(),
 	})

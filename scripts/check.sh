@@ -55,16 +55,29 @@ go test -count=1 -run 'TestCheckpointSurvivesSIGKILL' ./internal/harness/
 # Parser robustness: a short fuzz smoke per reader. Malformed input must
 # error — never panic, never wrap ids into range, never OOM (go test
 # runs the seed corpora; the smoke explores a little beyond them).
-for target in FuzzReadEdgeList FuzzReadMETIS FuzzUnmarshalGraph; do
+for target in FuzzReadEdgeList FuzzReadMETIS FuzzUnmarshalGraph FuzzCompactCSREquivalence; do
   echo "==> go test -fuzz=$target -fuzztime=10s ./internal/graph/"
   go test -run "^$target\$" -fuzz="^$target\$" -fuzztime=10s ./internal/graph/
 done
 
+# Million-vertex pipeline smoke at 10^5 scale: generate a BCSR file,
+# memory-map it, and run multilevel KL with the sharded within-run
+# kernels engaged (threads > 1, instance above ParallelMinVertices) —
+# all under the race detector, which is the only place the production
+# shard interleavings get raced at realistic sizes.
+echo "==> gengraph -format csr + bisect -threads 4 under -race (mmap + parallel kernel smoke)"
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/gengraph -model gnp -n 100000 -deg 4 -seed 7 -format csr -out "$smokedir/smoke.csr"
+go run -race ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl -starts 1 -threads 4 -validate
+
 # The compaction arena's zero-alloc contract: matching, contraction,
 # and the full warm compact/project cycle must not touch the heap in
-# steady state (the bench gate below checks the same property from the
-# benchmark side).
-echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ (alloc contract)"
+# steady state — including the sharded parallel matching and parallel
+# contraction paths (TestParallelMatchSteadyAllocs and
+# TestParallelContractSteadyAllocs match the same pattern). The bench
+# gate below checks the same property from the benchmark side.
+echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ (alloc contract, serial + sharded)"
 go test -count=1 -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/
 
 echo "==> go run ./cmd/bench -quick  (snapshot -> $out)"
