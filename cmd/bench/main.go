@@ -54,12 +54,18 @@ type TableCuts struct {
 	Seconds map[string]float64 `json:"mean_seconds"`
 }
 
-// Snapshot is the whole BENCH_*.json document.
+// Snapshot is the whole BENCH_*.json document. NumCPU and GoMaxProcs
+// record the host parallelism the snapshot was captured under: _t<k>
+// thread-series rows are only meaningful relative to the cores that
+// were actually available, and cmd/benchdiff refuses to gate ns/op
+// across snapshots whose core counts differ.
 type Snapshot struct {
 	Schema     string      `json:"schema"`
 	Scale      string      `json:"scale"`
 	GoVersion  string      `json:"go"`
 	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu,omitempty"`
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
 	Benchmarks []Result    `json:"benchmarks"`
 	Tables     []TableCuts `json:"tables,omitempty"`
 	Baseline   *Snapshot   `json:"baseline,omitempty"`
@@ -301,20 +307,26 @@ func run() error {
 	out := flag.String("o", "", "write the snapshot to this file (default stdout)")
 	baseline := flag.String("baseline", "", "embed this previously written snapshot as the baseline")
 	quick := flag.Bool("quick", false, "micro-benchmarks only; skip the harness tables")
-	scale := flag.Bool("scale", false, "add the million-vertex scale suite (generation, parse/read/mmap loading, threaded kernels)")
+	scale := flag.Bool("scale", false, "add the large-scale suite (generation, parse/read/mmap loading, threaded kernels)")
+	scaleVerts := flag.Int("scale-n", scaleDefaultN, "vertex count for the -scale suite (up to 10 000 000)")
 	notes := flag.String("notes", "", "free-form note stored in the snapshot")
 	flag.Parse()
+	if *scaleVerts < 2 || *scaleVerts > scaleMaxN {
+		return fmt.Errorf("-scale-n %d out of range [2,%d]", *scaleVerts, scaleMaxN)
+	}
 
 	scaleTag := "reduced"
 	if *scale {
-		scaleTag = "reduced+1m"
+		scaleTag = "reduced+" + scaleSuffix(*scaleVerts)
 	}
 	snap := Snapshot{
-		Schema:    "repro-bench/v1",
-		Scale:     scaleTag,
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		Notes:     *notes,
+		Schema:     "repro-bench/v1",
+		Scale:      scaleTag,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Notes:      *notes,
 	}
 
 	// The KL Gnp pair covers the paper's sparse families; the degree-16
@@ -457,8 +469,8 @@ func run() error {
 			return err
 		}
 		defer os.RemoveAll(dir)
-		fmt.Fprintln(os.Stderr, "bench: generating the million-vertex scale instance...")
-		if err := addScaleRows(add, dir); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: generating the %s-vertex scale instance...\n", scaleSuffix(*scaleVerts))
+		if err := addScaleRows(add, dir, *scaleVerts); err != nil {
 			return err
 		}
 	}

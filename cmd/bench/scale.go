@@ -16,21 +16,45 @@ import (
 	"repro/internal/rng"
 )
 
-// scaleN is the vertex count of the -scale suite: the million-vertex
-// regime the compact CSR, mmap loading, and sharded kernels target.
-const scaleN = 1_000_000
+// scaleDefaultN is the default vertex count of the -scale suite: the
+// million-vertex regime the compact CSR, mmap loading, and sharded
+// kernels target. -scale-n raises it up to scaleMaxN = 10⁷, the
+// ceiling the lifted graph.MaxVertices cap supports with headroom.
+const (
+	scaleDefaultN = 1_000_000
+	scaleMaxN     = 10_000_000
+)
 
 // scaleDeg keeps the instance sparse like the paper's families while
 // still giving every kernel multi-million half-edge arrays to chew on.
 const scaleDeg = 4.0
 
+// scaleHighDeg is the degree of the dense refinement instance: with a
+// mean degree past fm.ParallelMinDegree the per-move sharded
+// gain-update kernel engages on most committed moves, so the d64
+// thread series measures the parallel pass body itself rather than
+// the gated serial fallback.
+const scaleHighDeg = 64.0
+
+// scaleSuffix names an instance size the way row names embed it:
+// 1_000_000 → "1m", 10_000_000 → "10m", anything else → "<n>v".
+func scaleSuffix(n int) string {
+	if n >= 1_000_000 && n%1_000_000 == 0 {
+		return fmt.Sprintf("%dm", n/1_000_000)
+	}
+	return fmt.Sprintf("%dv", n)
+}
+
 // addScaleRows registers the -scale benchmark rows: generation,
 // loading (text parse vs binary read vs mmap), and the sharded
 // matching/contraction/refinement kernels at thread degrees 1/2/4/8
 // (the _t<k> suffix is the thread-series convention cmd/benchdiff
-// understands). Rows share one generated instance; the load rows go
-// through real files in dir.
-func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), dir string) error {
+// understands). Rows share one generated instance of n vertices; the
+// load rows go through real files in dir. The d64 refinement series
+// always runs at 10⁶ vertices regardless of n, so its rows stay
+// comparable across snapshots that vary -scale-n.
+func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), dir string, scaleN int) error {
+	sfx := scaleSuffix(scaleN)
 	p := scaleDeg / float64(scaleN-1)
 	g, err := gen.GNP(scaleN, p, rng.NewFib(42))
 	if err != nil {
@@ -38,7 +62,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 	}
 	m := float64(g.M())
 
-	add("scale_gen_gnp1m_d4", m, func(b *testing.B) {
+	add("scale_gen_gnp"+sfx+"_d4", m, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := gen.GNP(scaleN, p, rng.NewFib(42)); err != nil {
@@ -46,7 +70,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 			}
 		}
 	})
-	add("scale_stream_gnp1m_d4", m, func(b *testing.B) {
+	add("scale_stream_gnp"+sfx+"_d4", m, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := gen.StreamGNP(scaleN, p, rng.NewFib(42), func(u, v int32) error { return nil }); err != nil {
@@ -70,7 +94,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 		return err
 	}
 	elData, csrData := elBuf.Bytes(), csrBuf.Bytes()
-	add("scale_load_parse_gnp1m", m, func(b *testing.B) {
+	add("scale_load_parse_gnp"+sfx, m, func(b *testing.B) {
 		b.SetBytes(int64(len(elData)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -79,7 +103,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 			}
 		}
 	})
-	add("scale_load_read_gnp1m", m, func(b *testing.B) {
+	add("scale_load_read_gnp"+sfx, m, func(b *testing.B) {
 		b.SetBytes(int64(len(csrData)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -88,7 +112,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 			}
 		}
 	})
-	add("scale_load_mmap_gnp1m", m, func(b *testing.B) {
+	add("scale_load_mmap_gnp"+sfx, m, func(b *testing.B) {
 		b.SetBytes(int64(len(csrData)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -113,7 +137,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 		threads := threads
 		w := matching.NewWorkspace()
 		w.SetParallel(threads)
-		add(fmt.Sprintf("scale_match_gnp1m_t%d", threads), 0, func(b *testing.B) {
+		add(fmt.Sprintf("scale_match_gnp%s_t%d", sfx, threads), 0, func(b *testing.B) {
 			r := rng.NewFib(7)
 			w.RandomMaximal(g, r) // warm the arena
 			b.ReportAllocs()
@@ -132,7 +156,7 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 		threads := threads
 		w := coarsen.NewWorkspace()
 		w.SetParallel(threads)
-		add(fmt.Sprintf("scale_contract_gnp1m_t%d", threads), 0, func(b *testing.B) {
+		add(fmt.Sprintf("scale_contract_gnp%s_t%d", sfx, threads), 0, func(b *testing.B) {
 			contract := func() {
 				w.Reset()
 				if _, err := w.Contract(g, mate); err != nil {
@@ -149,8 +173,10 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 	}
 
 	// Refinement thread series: one steady-state FM pass on a warmed
-	// refiner (parallel gain-bucket initialization at t2+; the pass body
-	// itself is serial, so the parallel section is a minority share).
+	// refiner. At mean degree 4 almost every moved vertex falls below
+	// fm.ParallelMinDegree, so t2+ here measures the parallel bucket
+	// initialization plus the gated serial fallback of the pass body —
+	// the honest sparse-instance picture.
 	for _, threads := range []int{1, 2, 4, 8} {
 		opts := fm.Options{ParallelDegree: threads}
 		w := fm.NewRefiner()
@@ -158,7 +184,37 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 		if _, _, err := w.Pass(bis, opts); err != nil {
 			return err
 		}
-		add(fmt.Sprintf("scale_fm_pass_gnp1m_t%d", threads), 0, func(b *testing.B) {
+		add(fmt.Sprintf("scale_fm_pass_gnp%s_t%d", sfx, threads), 0, func(b *testing.B) {
+			defer w.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := w.Pass(bis, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	// Dense refinement thread series: the same steady-state pass on a
+	// degree-64 million-vertex instance, where nearly every committed
+	// move clears fm.ParallelMinDegree and the sharded gain-update
+	// kernel carries the pass body. This is the series that shows
+	// multi-core speedup; on a single-core host the _t<k> rows measure
+	// only the sharding overhead at degree k (see num_cpu in the
+	// snapshot header).
+	g64, err := gen.GNP(scaleDefaultN, scaleHighDeg/float64(scaleDefaultN-1), rng.NewFib(43))
+	if err != nil {
+		return err
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		opts := fm.Options{ParallelDegree: threads}
+		w := fm.NewRefiner()
+		bis := partition.NewRandom(g64, rng.NewFib(9))
+		if _, _, err := w.Pass(bis, opts); err != nil {
+			return err
+		}
+		add(fmt.Sprintf("scale_fm_pass_gnp1m_d64_t%d", threads), 0, func(b *testing.B) {
 			defer w.Close()
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -37,6 +37,16 @@
 // the _t1 row divided by k), and never gated on. The _t1 member is an
 // ordinary serial benchmark and stays gated.
 //
+// Snapshots since BENCH_7 stamp the capture host's num_cpu and
+// gomaxprocs. When the two snapshots disagree on core count, every
+// ns/op comparison reflects the host change at least as much as the
+// code change, so benchdiff prints a prominent warning and refuses to
+// gate on ns/op entirely — allocation and result-metric gates still
+// apply, because those are host-independent. (This is also why the
+// _t<k> rows of BENCH_6 are flat: that host had a single CPU, so every
+// thread count ran the same one core and the rows measure sharding
+// overhead, not speedup.)
+//
 // scripts/check.sh uses this to gate tier-2 on BENCH_(N-1) → BENCH_N.
 package main
 
@@ -88,23 +98,25 @@ func threadSeries(name string) (base string, k int, ok bool) {
 
 type snapshot struct {
 	Schema     string     `json:"schema"`
+	NumCPU     int        `json:"num_cpu"`
+	GoMaxProcs int        `json:"gomaxprocs"`
 	Benchmarks []benchRow `json:"benchmarks"`
 }
 
-func load(path string) (map[string]benchRow, error) {
+func load(path string) (map[string]benchRow, snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, snapshot{}, err
 	}
 	var s snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, snapshot{}, fmt.Errorf("%s: %w", path, err)
 	}
 	rows := make(map[string]benchRow, len(s.Benchmarks))
 	for _, b := range s.Benchmarks {
 		rows[b.Name] = b
 	}
-	return rows, nil
+	return rows, s, nil
 }
 
 func main() {
@@ -114,15 +126,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.10] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRows, err := load(flag.Arg(0))
+	oldRows, oldSnap, err := load(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	newRows, err := load(flag.Arg(1))
+	newRows, newSnap, err := load(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
+	}
+
+	// A core-count change means every ns/op delta measures the host at
+	// least as much as the code: warn loudly and never gate on time.
+	// Snapshots older than BENCH_7 carry no num_cpu (0 = unknown), which
+	// cannot be distinguished from a host change — treated the same way.
+	crossCore := oldSnap.NumCPU != newSnap.NumCPU || oldSnap.GoMaxProcs != newSnap.GoMaxProcs
+	if crossCore {
+		fmt.Printf("WARNING: snapshots were captured on different host parallelism\n"+
+			"  old: num_cpu=%d gomaxprocs=%d\n  new: num_cpu=%d gomaxprocs=%d\n"+
+			"  (0 = snapshot predates the num_cpu stamp)\n"+
+			"  ns/op deltas are informational only and will NOT gate; allocation\n"+
+			"  and result-metric gates still apply.\n\n",
+			oldSnap.NumCPU, oldSnap.GoMaxProcs, newSnap.NumCPU, newSnap.GoMaxProcs)
 	}
 
 	var names, added, removed []string
@@ -184,8 +210,12 @@ func main() {
 		}
 		mark := ""
 		if delta > *tol {
-			mark = "  REGRESSION"
-			failed = true
+			if crossCore {
+				mark = "  SLOWER (not gated: host changed)"
+			} else {
+				mark = "  REGRESSION"
+				failed = true
+			}
 		}
 		if n.AllocsOp > o.AllocsOp {
 			mark += "  ALLOC-REGRESSION"
@@ -214,7 +244,7 @@ func main() {
 		o := oldRows[name]
 		fmt.Printf("%-34s %14.0f %14s %8s %6d → %-4s  REMOVED\n", name, o.NsPerOp, "-", "-", o.AllocsOp, "-")
 	}
-	printEfficiency(newRows)
+	printEfficiency(newRows, newSnap)
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchdiff: FAIL (tolerance %.0f%%)\n", *tol*100)
 		os.Exit(1)
@@ -226,8 +256,10 @@ func main() {
 // printEfficiency summarizes every thread-scaling family in the new
 // snapshot: speedup of _t<k> over _t1 and parallel efficiency
 // (speedup / k). Efficiency near 100% is linear scaling; on a host with
-// fewer cores than k the expected value is cores/k.
-func printEfficiency(rows map[string]benchRow) {
+// fewer cores than k the expected value is cores/k — the header names
+// the capture host's core count so the table is read against the right
+// ceiling.
+func printEfficiency(rows map[string]benchRow, snap snapshot) {
 	type member struct {
 		k  int
 		ns float64
@@ -252,7 +284,14 @@ func printEfficiency(rows map[string]benchRow) {
 		return
 	}
 	sort.Strings(bases)
-	fmt.Printf("\nparallel efficiency (new snapshot, speedup over _t1 / threads)\n")
+	host := "host cores unknown"
+	if snap.NumCPU > 0 {
+		host = fmt.Sprintf("host num_cpu=%d", snap.NumCPU)
+		if snap.NumCPU == 1 {
+			host += "; expect <=1.00x everywhere"
+		}
+	}
+	fmt.Printf("\nparallel efficiency (new snapshot, speedup over _t1 / threads; %s)\n", host)
 	for _, base := range bases {
 		ms := families[base]
 		sort.Slice(ms, func(i, j int) bool { return ms[i].k < ms[j].k })

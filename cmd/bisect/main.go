@@ -63,7 +63,7 @@ func run() (interrupted bool, err error) {
 	alg := flag.String("alg", "ckl", "algorithm: "+strings.Join(bisect.BisectorNames(), ", "))
 	starts := flag.Int("starts", 2, "number of random starts (best kept)")
 	seed := flag.Uint64("seed", 1989, "random seed")
-	threads := flag.Int("threads", 1, "goroutines for within-run kernels (matching, contraction, bucket init)")
+	threads := flag.Int("threads", 1, "goroutines for within-run kernels (matching, contraction, refinement pass body); results are identical at any value")
 	out := flag.String("out", "", "write per-vertex side assignment to this file")
 	validate := flag.Bool("validate", false, "re-verify the result from scratch before reporting")
 	timeout := flag.Duration("timeout", 0, "stop at the next checkpoint after this long, keeping the best-so-far result (0 = none)")

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// TestBuilderAtVertexCap exercises Builder exactly at MaxVertices and
+// one past it: the cap must reject before any O(n) allocation, and a
+// graph at exactly the cap must build and serve its accessors. The
+// at-cap build allocates a few GB transiently — that is the point: the
+// 2²⁷ ceiling is a supported configuration, not a theoretical one.
+func TestBuilderAtVertexCap(t *testing.T) {
+	if _, err := NewBuilder(MaxVertices + 1).Build(); err == nil {
+		t.Fatal("Builder accepted MaxVertices+1 vertices")
+	} else if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("unexpected over-cap error: %v", err)
+	}
+
+	if testing.Short() {
+		t.Skip("at-cap build allocates several GB")
+	}
+	b := NewBuilder(MaxVertices)
+	b.AddEdge(0, MaxVertices-1)
+	b.AddEdge(MaxVertices-1, MaxVertices-2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build at MaxVertices: %v", err)
+	}
+	if g.N() != MaxVertices || g.M() != 2 {
+		t.Fatalf("got n=%d m=%d, want n=%d m=2", g.N(), g.M(), MaxVertices)
+	}
+	if d := g.Degree(MaxVertices - 1); d != 2 {
+		t.Fatalf("degree of top vertex = %d, want 2", d)
+	}
+}
+
+// bcsrHeader builds a 72-byte BCSR header with the given vertex count,
+// edge count, and flags — enough to drive parseCSRInto's validation
+// order without materializing a body.
+func bcsrHeader(n, m, flags uint64) []byte {
+	hdr := make([]byte, csrHeaderSize)
+	copy(hdr[0:8], csrMagic)
+	binary.LittleEndian.PutUint64(hdr[8:16], n)
+	binary.LittleEndian.PutUint64(hdr[16:24], m)
+	binary.LittleEndian.PutUint64(hdr[24:32], flags)
+	return hdr
+}
+
+// TestBCSRHeaderAtVertexCap pins the BCSR header validation at the cap
+// boundary: MaxVertices+1 is refused by the cap check itself, while
+// exactly MaxVertices passes the cap and fails later on the (absent)
+// body — proving the boundary sits between the two.
+func TestBCSRHeaderAtVertexCap(t *testing.T) {
+	_, err := ReadCSRFile(bytes.NewReader(bcsrHeader(MaxVertices+1, 0, 0)))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("n=MaxVertices+1: got %v, want vertex-cap error", err)
+	}
+	_, err = ReadCSRFile(bytes.NewReader(bcsrHeader(MaxVertices, 0, 0)))
+	if err == nil {
+		t.Fatal("header-only image accepted")
+	}
+	if strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("n=MaxVertices rejected by the cap check: %v", err)
+	}
+	if !strings.Contains(err.Error(), "size") {
+		t.Fatalf("n=MaxVertices: got %v, want size-mismatch error", err)
+	}
+}
+
+// TestBCSRCompactOffsetOverflow pins the int32-offset guard: a header
+// declaring compact offsets for an edge count whose half-edges exceed
+// 2³¹−1 must be refused outright (such graphs may only ship wide), and
+// the same count with the wide flag must get past that check to the
+// size validation.
+func TestBCSRCompactOffsetOverflow(t *testing.T) {
+	const m = 1 << 30 // 2·m half-edges = 2³¹ > maxCompactHalfEdges
+	_, err := ReadCSRFile(bytes.NewReader(bcsrHeader(1<<20, m, 0)))
+	if err == nil || !strings.Contains(err.Error(), "compact") {
+		t.Fatalf("compact flags with %d half-edges: got %v, want compact-offset refusal", uint64(2*m), err)
+	}
+	_, err = ReadCSRFile(bytes.NewReader(bcsrHeader(1<<20, m, csrFlagWide)))
+	if err == nil {
+		t.Fatal("header-only wide image accepted")
+	}
+	if strings.Contains(err.Error(), "compact") {
+		t.Fatalf("wide flag still hit the compact-offset check: %v", err)
+	}
+}
+
+// FuzzReadBCSR drives the BCSR reader with hostile images. Seeds cover
+// the validation boundaries this PR touches: the vertex cap, an edge
+// count that overflows int32 offsets (must be forced onto the wide-CSR
+// path or refused), and a truncated valid prefix.
+func FuzzReadBCSR(f *testing.F) {
+	// A small valid image as the mutation base.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSRFile(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:csrHeaderSize])
+	f.Add(bcsrHeader(MaxVertices, 2, 0))
+	f.Add(bcsrHeader(MaxVertices+1, 2, 0))
+	f.Add(bcsrHeader(1<<20, 1<<30, 0))           // int32 offset overflow, compact
+	f.Add(bcsrHeader(1<<20, 1<<30, csrFlagWide)) // int32 offset overflow, wide
+	f.Add(bcsrHeader(1<<62, 1<<62, csrFlagVW))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadCSRFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("BCSR reader accepted invalid graph: %v", verr)
+		}
+	})
+}

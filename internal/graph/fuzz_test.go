@@ -28,7 +28,7 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("graph 3 2\ne 0 1\ne 1")
 	f.Add("graph 2 -1\n")
 	f.Add("graph 2 999999999999\n")
-	f.Add("graph 16777217 0\n")
+	f.Add("graph 134217729 0\n") // MaxVertices+1
 	f.Add("graph 2 1\ne 4294967296 1\n")
 	f.Add("graph 2 1\ne 0 1 4294967297\n")
 	f.Add("graph 2 1 vweights\nv 0 4294967298\ne 0 1\n")
@@ -172,7 +172,7 @@ func FuzzReadMETIS(f *testing.F) {
 	f.Add("3 2\n2\n1")
 	f.Add("2 -1\n")
 	f.Add("2 999999999999\n")
-	f.Add("16777217 0\n")
+	f.Add("134217729 0\n") // MaxVertices+1
 	f.Add("3 1\n4294967298\n")
 	f.Add("3 1\n9\n")
 	f.Add("2 1 1\n2\n")
@@ -193,7 +193,7 @@ func FuzzUnmarshalGraph(f *testing.F) {
 	f.Add(`{}`)
 	f.Add(`{"n":-5}`)
 	f.Add(`[1,2,3]`)
-	f.Add(`{"n":16777217}`)
+	f.Add(`{"n":134217729}`) // MaxVertices+1: must be rejected, not allocated
 	f.Add(`{"n":3,"edges":[[0,4294967296,1]]}`)
 	f.Add(`{"n":3,"edges":[[0,1`)
 	f.Fuzz(func(t *testing.T, in string) {

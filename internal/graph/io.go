@@ -26,9 +26,11 @@ import (
 )
 
 // MaxEdges bounds the edge count a parser will accept from a header
-// before reading the body, so hostile headers fail fast. 2²⁷ ≈ 134M
-// edges is far above any instance the repository generates.
-const MaxEdges = 1 << 27
+// before reading the body, so hostile headers fail fast. 2²⁹ ≈ 537M
+// edges keeps the text parsers usable up to MaxVertices-sized sparse
+// instances (mean degree ~8 at 2²⁷ vertices); anything denser at that
+// scale should ship as BCSR, whose own plausibility cap is separate.
+const MaxEdges = 1 << 29
 
 // parseID parses a vertex id (or any value that must fit in int32)
 // without silent truncation: values outside [0, int32 max] — including

@@ -58,13 +58,21 @@ type Options struct {
 	// Results (including ScannedPairs) are identical; only running time
 	// changes. Used by the KL-scan ablation.
 	DisableBlockedScan bool
-	// ParallelDegree, when > 1, fills the two gain-bucket structures of
-	// each pass concurrently (one worker per side) for graphs with at
-	// least ParallelMinVertices vertices. Results are identical at any
-	// degree — each side's buckets are filled serially in vertex order
-	// either way. The two-worker pool attaches to the Workspace; reuse
-	// one (and Close it) to amortize.
+	// ParallelDegree, when > 1, shards the pass over a worker pool of
+	// that degree for graphs with at least ParallelMinVertices vertices:
+	// the two gain-bucket structures are filled concurrently (one worker
+	// per side), and each committed swap's neighbor gain updates and
+	// bucket repositions are sharded when the pair's combined degree
+	// reaches ParallelMinDegree. Results are identical at any degree —
+	// every kernel reproduces the serial decision sequence bit-exactly
+	// (see docs/PERFORMANCE.md). The pool attaches to the Workspace;
+	// reuse one (and Close it) to amortize.
 	ParallelDegree int
+	// DisableParallelGains keeps the per-swap neighbor gain updates and
+	// bucket repositions serial even when ParallelDegree engages the
+	// pool. Results are identical; only running time changes. Used by
+	// the parallel-refinement ablation benchmark.
+	DisableParallelGains bool
 	// Workspace, when non-nil, supplies the reusable pass state (gain
 	// buckets, swap log, scratch stamps) so repeated runs allocate
 	// nothing. A nil Workspace makes Run/Refine/Pass allocate a private
@@ -123,18 +131,28 @@ type Refiner struct {
 	// one selectPair, packed gain-high/vertex-low, so replays for later
 	// A-candidates read a flat array instead of chasing bucket links.
 	bseq []uint64
-	// Two-worker pool for the parallel bucket init (Options.ParallelDegree),
+	// Worker pool for the parallel pass kernels (Options.ParallelDegree),
 	// created lazily, released by Close; pb carries the bisection to the
 	// pre-bound shard closure.
 	pool   *par.Pool
 	initFn func(int)
 	pb     *partition.Bisection
+	// mover shards the per-swap neighbor gain updates and bucket
+	// repositions (see partition.ShardedMover).
+	mover partition.ShardedMover
 }
 
-// ParallelMinVertices is the graph size below which the bucket init
-// stays serial even when Options.ParallelDegree asks for workers. A
-// variable only so tests can lower it.
+// ParallelMinVertices is the graph size below which the pass stays
+// serial even when Options.ParallelDegree asks for workers. A variable
+// only so tests can lower it.
 var ParallelMinVertices = 1 << 15
+
+// ParallelMinDegree is the combined degree of a swapped pair below
+// which the swap's neighbor updates stay serial even on a parallel
+// pass: the fork-join barriers cost on the order of a microsecond, so
+// sharding only pays once a swap touches enough neighbors. A variable
+// only so tests can lower it.
+var ParallelMinDegree = 64
 
 // Close releases the pool created for parallel bucket filling (if any).
 // The Refiner remains usable afterwards.
@@ -299,9 +317,11 @@ func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64,
 		return 0, 0, 0, err
 	}
 	buckets := [2]*partition.GainBuckets{&w.buckets[0], &w.buckets[1]}
-	if opts.ParallelDegree > 1 && n >= ParallelMinVertices {
-		if w.pool == nil {
-			w.pool = par.New(2)
+	useParallel := opts.ParallelDegree > 1 && n >= ParallelMinVertices
+	if useParallel {
+		if w.pool == nil || w.pool.Degree() < opts.ParallelDegree {
+			w.pool.Close()
+			w.pool = par.New(opts.ParallelDegree)
 			w.initFn = w.initShard
 		}
 		w.pb = b
@@ -311,6 +331,10 @@ func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64,
 		for v := int32(0); int(v) < n; v++ {
 			buckets[b.Side(v)].Add(v, b.Gain(v))
 		}
+	}
+	useGains := useParallel && !opts.DisableParallelGains
+	if useGains {
+		w.mover.Bind(w.pool, b, buckets[0], buckets[1])
 	}
 	steps := buckets[0].Len()
 	if l := buckets[1].Len(); l < steps {
@@ -339,14 +363,18 @@ func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64,
 		// Tentative exchange; lock both.
 		buckets[b.Side(a)].Remove(a)
 		buckets[b.Side(bv)].Remove(bv)
-		b.Swap(a, bv)
-		// Neighbor gains changed; refresh bucket entries of unlocked
-		// neighbors.
-		for _, e := range g.Neighbors(a) {
-			buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
-		}
-		for _, e := range g.Neighbors(bv) {
-			buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
+		if useGains && len(g.Neighbors(a))+len(g.Neighbors(bv)) >= ParallelMinDegree {
+			w.mover.Swap(a, bv)
+		} else {
+			b.Swap(a, bv)
+			// Neighbor gains changed; refresh bucket entries of unlocked
+			// neighbors.
+			for _, e := range g.Neighbors(a) {
+				buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
+			}
+			for _, e := range g.Neighbors(bv) {
+				buckets[b.Side(e.To)].UpdateIfPresent(e.To, b.Gain(e.To))
+			}
 		}
 		swaps = append(swaps, swapRec{a: a, bv: bv, gain: g2})
 		cum += g2
@@ -372,7 +400,14 @@ func (w *Refiner) Pass(b *partition.Bisection, opts Options) (improvement int64,
 
 	// Roll back everything after the best prefix.
 	for i := len(swaps) - 1; i >= bestK; i-- {
-		b.Swap(swaps[i].a, swaps[i].bv)
+		if useGains && len(g.Neighbors(swaps[i].a))+len(g.Neighbors(swaps[i].bv)) >= ParallelMinDegree {
+			w.mover.SwapNoBuckets(swaps[i].a, swaps[i].bv)
+		} else {
+			b.Swap(swaps[i].a, swaps[i].bv)
+		}
+	}
+	if useGains {
+		w.mover.Unbind()
 	}
 	w.swaps = swaps[:0] // keep the grown capacity for the next pass
 	return bestCum, bestK, scanned, nil

@@ -34,8 +34,13 @@ import (
 // rounds.
 //
 // The parallel result differs from the serial greedy stream — that is
-// why it only engages above ParallelMinVertices and with an attached
-// pool, keeping the fixture-pinned small-instance behavior bit-exact.
+// why it only engages above ParallelMinVertices, keeping the
+// fixture-pinned small-instance behavior bit-exact. Above the
+// threshold the handshake runs at EVERY degree, including 1 (inline on
+// a nil pool): its output depends only on the graph and the seed, so
+// engaging by size alone is what makes large-instance results
+// identical at any -threads value — the repo-wide thread-count
+// invariance contract pinned by core's determinism matrix test.
 
 // ParallelMinVertices is the vertex count below which matching stays on
 // the serial path even when a pool is attached: handshake rounds on tiny
@@ -74,9 +79,12 @@ func (w *Workspace) releasePool() {
 }
 
 // parallelActive reports whether the handshake path should run for an
-// n-vertex graph.
+// n-vertex graph. The decision is by size alone — never by pool degree
+// — so the matching (and everything downstream of it) is identical at
+// any thread count; with no pool attached the handshake shards simply
+// run inline.
 func (w *Workspace) parallelActive(n int) bool {
-	return w.pool.Degree() > 1 && n >= ParallelMinVertices
+	return n >= ParallelMinVertices
 }
 
 // splitmix64 is the standard 64-bit finalizer used to derive per-vertex

@@ -83,10 +83,13 @@ func TestParallelMatchDeterministicAcrossDegrees(t *testing.T) {
 	}
 }
 
-// TestParallelThresholdKeepsSerialPath pins the gating: below the
-// threshold (or at degree 1) the workspace must produce exactly the
-// serial greedy result — the byte-identity contract behind the golden
-// fixtures.
+// TestParallelThresholdKeepsSerialPath pins the gating contract: below
+// the threshold the workspace must produce exactly the serial greedy
+// result (the byte-identity contract behind the golden fixtures) even
+// with a pool attached, and above the threshold the handshake engages
+// by size alone — a degree-1 workspace runs it inline and matches any
+// parallel degree, the thread-count invariance the determinism matrix
+// relies on.
 func TestParallelThresholdKeepsSerialPath(t *testing.T) {
 	g := testGraph(t, 2000, 5) // below the real 1<<15 threshold
 	serial := RandomMaximal(g, rng.NewFib(3))
@@ -101,15 +104,20 @@ func TestParallelThresholdKeepsSerialPath(t *testing.T) {
 		}
 	}
 
-	// Degree 1 attaches no pool at all, even above threshold.
+	// Above the threshold, degree 1 (no pool) runs the handshake inline
+	// and must match the parallel result exactly, never the greedy one.
 	lowerThreshold(t, 1)
 	w1 := NewWorkspace()
 	w1.SetParallel(1)
 	defer w1.Close()
 	got1 := w1.RandomMaximal(g, rng.NewFib(3))
+	w4 := NewWorkspace()
+	w4.SetParallel(4)
+	defer w4.Close()
+	got4 := w4.RandomMaximal(g, rng.NewFib(3))
 	for v := range got1 {
-		if got1[v] != serial[v] {
-			t.Fatalf("degree-1 workspace diverged at vertex %d", v)
+		if got1[v] != got4[v] {
+			t.Fatalf("inline handshake diverged from degree-4 at vertex %d", v)
 		}
 	}
 }

@@ -73,6 +73,9 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 			_ = s.store.saveJob(j.record())
 			return true
 		}
+		if s.cfg.JobThreads > 1 {
+			b = core.WithParallel(b, s.cfg.JobThreads)
+		}
 		base = core.WithWorkspace(b)
 		bisectors[j.spec.Algorithm] = base
 	}

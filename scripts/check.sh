@@ -55,21 +55,41 @@ go test -count=1 -run 'TestCheckpointSurvivesSIGKILL' ./internal/harness/
 # Parser robustness: a short fuzz smoke per reader. Malformed input must
 # error — never panic, never wrap ids into range, never OOM (go test
 # runs the seed corpora; the smoke explores a little beyond them).
-for target in FuzzReadEdgeList FuzzReadMETIS FuzzUnmarshalGraph FuzzCompactCSREquivalence; do
+# FuzzReadBCSR covers the binary header boundaries of the lifted vertex
+# cap: hostile n/m counts and int32-offset overflows into the wide path.
+for target in FuzzReadEdgeList FuzzReadMETIS FuzzUnmarshalGraph FuzzCompactCSREquivalence FuzzReadBCSR; do
   echo "==> go test -fuzz=$target -fuzztime=10s ./internal/graph/"
   go test -run "^$target\$" -fuzz="^$target\$" -fuzztime=10s ./internal/graph/
 done
+
+# The sharded refinement pass body (per-move gain updates, the FM
+# proposal reduce, the parallel rollback) across goroutine
+# interleavings: GOMAXPROCS=2 forces real preemption between shard
+# workers on any host, and -count=2 varies the schedule.
+echo "==> GOMAXPROCS=2 go test -race -count=2 (sharded pass kernels + determinism matrix)"
+GOMAXPROCS=2 go test -race -count=2 \
+  -run 'TestSharded|TestDeterminismMatrix|TestRangeCursor' \
+  ./internal/partition/ ./internal/fm/ ./internal/kl/ ./internal/core/
 
 # Million-vertex pipeline smoke at 10^5 scale: generate a BCSR file,
 # memory-map it, and run multilevel KL with the sharded within-run
 # kernels engaged (threads > 1, instance above ParallelMinVertices) —
 # all under the race detector, which is the only place the production
-# shard interleavings get raced at realistic sizes.
+# shard interleavings get raced at realistic sizes. The same instance
+# is then bisected at -threads 1 and -threads 4 and the two side
+# assignments diffed byte-for-byte: the thread-count invariance
+# contract, end to end through the CLI.
 echo "==> gengraph -format csr + bisect -threads 4 under -race (mmap + parallel kernel smoke)"
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 go run ./cmd/gengraph -model gnp -n 100000 -deg 4 -seed 7 -format csr -out "$smokedir/smoke.csr"
-go run -race ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl -starts 1 -threads 4 -validate
+go run -race ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl -starts 1 -threads 4 -validate \
+  -out "$smokedir/sides.t4"
+echo "==> bisect -threads 1 vs -threads 4: sides must be identical"
+go run ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl -starts 1 -threads 1 -validate \
+  -out "$smokedir/sides.t1"
+cmp "$smokedir/sides.t1" "$smokedir/sides.t4" \
+  || { echo "FAIL: -threads changed the bisection (sides.t1 != sides.t4)"; exit 1; }
 
 # The compaction arena's zero-alloc contract: matching, contraction,
 # and the full warm compact/project cycle must not touch the heap in
@@ -77,8 +97,8 @@ go run -race ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl -starts 1 -threads
 # contraction paths (TestParallelMatchSteadyAllocs and
 # TestParallelContractSteadyAllocs match the same pattern). The bench
 # gate below checks the same property from the benchmark side.
-echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ (alloc contract, serial + sharded)"
-go test -count=1 -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/
+echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ ./internal/partition/ ./internal/fm/ ./internal/kl/ (alloc contract, serial + sharded)"
+go test -count=1 -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ ./internal/partition/ ./internal/fm/ ./internal/kl/
 
 echo "==> go run ./cmd/bench -quick  (snapshot -> $out)"
 go run ./cmd/bench -quick -o "$out"
