@@ -86,6 +86,10 @@ type (
 	HFMOptions = hfm.Options
 	// HFMResult reports a hypergraph FM run.
 	HFMResult = hfm.Result
+	// HFMWorkspace is reusable hypergraph-FM storage (set it on
+	// HFMOptions.Workspace to amortize allocations across runs on the
+	// same or different netlists).
+	HFMWorkspace = hfm.Workspace
 	// RandomBisector assigns sides uniformly at random under balance.
 	RandomBisector = core.Random
 	// GreedyBisector grows one side by BFS.
@@ -147,8 +151,10 @@ func WithParallel(b Bisector, degree int) Bisector { return core.WithParallel(b,
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
 // NewBisector returns the named algorithm with default options.
-// Recognized names: random, greedy, kl, sa, fm, ckl, csa, cfm, mlkl,
-// mlfm, spectral.
+// Recognized names: random, greedy, kl, sa, fm, spectral, ckl, csa,
+// cfm, mlkl, mlfm, mlsa, and the spectral-initialized multilevel
+// variants mlkl+spec, mlfm+spec, mlsa+spec (Lanczos Fiedler split at
+// the coarsest level instead of a random one; see docs/ALGORITHMS.md).
 func NewBisector(name string) (Bisector, error) { return core.New(name) }
 
 // BisectorNames lists the registry's algorithm names.
@@ -358,6 +364,19 @@ func RecursiveKWay(g *Graph, k int, bisector Bisector, r *Rand) (*KWayPartition,
 	return kway.Recursive(g, k, bisector, r)
 }
 
+// KWayOptions configures RecursiveKWayOpts: an observer receiving one
+// level_done event per split plus a final run_done, a RunControl whose
+// stop collapses the remaining subproblems (the partial partition is
+// still valid and returned with the stop sentinel), and KeepBisector
+// to opt out of the default per-run workspace wrapping.
+type KWayOptions = kway.Options
+
+// RecursiveKWayOpts is RecursiveKWay with observability and run
+// control; see KWayOptions.
+func RecursiveKWayOpts(g *Graph, k int, bisector Bisector, opts KWayOptions, r *Rand) (*KWayPartition, error) {
+	return kway.RecursiveOpts(g, k, bisector, opts, r)
+}
+
 // RefineKWayPairs improves a k-way partition in place with pairwise FM
 // between parts sharing cut edges; returns the total cut improvement.
 func RefineKWayPairs(p *KWayPartition, rounds int) (int64, error) {
@@ -384,6 +403,9 @@ func HFMBisect(nl *Netlist, opts HFMOptions, r *Rand) (HFMResult, error) {
 func HFMRefine(nl *Netlist, sides []uint8, opts HFMOptions) (HFMResult, error) {
 	return hfm.Refine(nl, sides, opts)
 }
+
+// NewHFMWorkspace returns an empty reusable hypergraph-FM workspace.
+func NewHFMWorkspace() *HFMWorkspace { return hfm.NewWorkspace() }
 
 // InducedSubgraph returns the subgraph induced by vertices and the
 // new-to-old id mapping.

@@ -458,6 +458,30 @@ func run() error {
 		return err
 	}
 	add("mlkl_run_gnp400_d4.0", cut, fn)
+	// The spectral-initialization ablation pair: identical multilevel
+	// pipeline, coarsest level seeded from the Fiedler median split
+	// instead of a random start. Compare against mlkl_run_gnp400_d4.0.
+	if cut, fn, err = bisectorRun(core.Multilevel{
+		Inner: core.KL{},
+		Opts:  &coarsen.MultilevelOptions{SpectralInit: true},
+	}, g40); err != nil {
+		return err
+	}
+	add("mlkl_spec_run_gnp400_d4.0", cut, fn)
+
+	// First-class scenario rows for the k-way and hypergraph engines.
+	if cut, fn, err = kwayRun(g40, 8); err != nil {
+		return err
+	}
+	add("kway_rb8_gnp400_d4.0", cut, fn)
+	nl, err := benchNetlist()
+	if err != nil {
+		return err
+	}
+	if cut, fn, err = hfmRun(nl); err != nil {
+		return err
+	}
+	add("hfm_run_nl400", cut, fn)
 
 	// Rows that exist only in trees with the workspace arena API (the
 	// baseline build stubs this out so snapshots stay comparable).

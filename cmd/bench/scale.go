@@ -225,5 +225,8 @@ func addScaleRows(add func(name string, metric float64, fn func(b *testing.B)), 
 			}
 		})
 	}
-	return nil
+
+	// Spectral Fiedler-solver rows: Lanczos vs power matvec counts and
+	// the sharded-matvec thread series (see scenarios.go).
+	return addSpectralScaleRows(add, scaleN)
 }

@@ -53,6 +53,15 @@ type MultilevelOptions struct {
 	// every phase serial. The pool attaches to the Workspace, so reuse a
 	// Workspace across runs to amortize it.
 	ParallelDegree int
+	// SpectralInit seeds the coarsest-level solve from the spectral
+	// median split (see internal/spectral) instead of the initial
+	// bisector: the coarsest graph is small, so the Lanczos solve is
+	// cheap, and the per-level refinement then starts from a globally
+	// informed cut rather than a random one — the "+spec" algorithm
+	// variants in the core registry. The initial bisector remains the
+	// fallback if the spectral solve fails outright; a solve that merely
+	// stops at its matvec budget still seeds with its best-effort split.
+	SpectralInit bool
 	// Control, when non-nil, is polled once before every coarsening
 	// level. When it stops, coarsening halts where it stands and the
 	// driver still solves the coarsest graph reached and projects back up
@@ -90,6 +99,7 @@ func (o *MultilevelOptions) withDefaults() MultilevelOptions {
 	out.Observer = o.Observer
 	out.Control = o.Control
 	out.ParallelDegree = o.ParallelDegree
+	out.SpectralInit = o.SpectralInit
 	return out
 }
 

@@ -41,6 +41,9 @@ func (w *Workspace) SetParallel(degree int) {
 	w.pool = par.New(degree)
 	w.poolDeg = degree
 	w.match.SetPool(w.pool)
+	if w.spec != nil {
+		w.spec.SetPool(w.pool)
+	}
 }
 
 // Close releases the workspace's pool (parked goroutines). The
@@ -50,6 +53,9 @@ func (w *Workspace) Close() { w.releasePool() }
 func (w *Workspace) releasePool() {
 	if w.pool != nil {
 		w.match.SetPool(nil)
+		if w.spec != nil {
+			w.spec.SetPool(nil)
+		}
 		w.pool.Close()
 		w.pool = nil
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/spectral"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,11 @@ type Workspace struct {
 	levels []*level
 	depth  int
 	side   []uint8 // projection scratch, sized to the largest fine graph seen
+
+	// spec is the lazily created spectral solver workspace for
+	// MultilevelOptions.SpectralInit coarsest-level seeding. It shares
+	// the arena's pool (attached on creation and by SetParallel).
+	spec *spectral.Workspace
 
 	// Sharded-contraction state (see parallel.go): the shared pool, one
 	// epoch-stamped dedup map per shard, per-shard error slots, and the
@@ -425,7 +431,7 @@ func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial Init
 	}
 
 	// Coarsest solution.
-	b := initial(cur, r)
+	b := w.coarsestSolve(cur, o, initial, r)
 	if b == nil || b.Graph() != cur {
 		return nil, fmt.Errorf("coarsen: initial bisector returned an invalid bisection")
 	}
@@ -473,6 +479,28 @@ func (w *Workspace) multilevel(g *graph.Graph, o MultilevelOptions, initial Init
 		}
 	}
 	return b, stopErr
+}
+
+// coarsestSolve produces the coarsest-level bisection: the spectral
+// median split when SpectralInit is set, the initial bisector
+// otherwise. The spectral solver reuses a workspace owned by the arena
+// (sharing its pool), so repeated runs don't re-grow solver buffers. A
+// solver that stops at its matvec budget still seeds with the
+// best-effort split; a hard solver failure falls back to initial so
+// Multilevel never loses a result to its own seeding heuristic.
+func (w *Workspace) coarsestSolve(cur *graph.Graph, o MultilevelOptions, initial InitialFunc, r *rng.Rand) *partition.Bisection {
+	if !o.SpectralInit {
+		return initial(cur, r)
+	}
+	if w.spec == nil {
+		w.spec = spectral.NewWorkspace()
+		w.spec.SetPool(w.pool)
+	}
+	b, err := spectral.Bisect(cur, spectral.Options{Workspace: w.spec}, r)
+	if err != nil && !spectral.IsNotConverged(err) {
+		return initial(cur, r)
+	}
+	return b
 }
 
 func growInt32(s []int32, n int) []int32 {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/kl"
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/spectral"
 	"repro/internal/trace"
 )
 
@@ -27,13 +28,16 @@ func TestDeterminismMatrix(t *testing.T) {
 	savedC, savedM := coarsen.ParallelMinVertices, matching.ParallelMinVertices
 	savedK, savedF := kl.ParallelMinVertices, fm.ParallelMinVertices
 	savedKD, savedFD := kl.ParallelMinDegree, fm.ParallelMinDegree
+	savedS := spectral.ParallelMinVertices
 	coarsen.ParallelMinVertices, matching.ParallelMinVertices = 1, 1
 	kl.ParallelMinVertices, fm.ParallelMinVertices = 1, 1
 	kl.ParallelMinDegree, fm.ParallelMinDegree = 1, 1
+	spectral.ParallelMinVertices = 1
 	t.Cleanup(func() {
 		coarsen.ParallelMinVertices, matching.ParallelMinVertices = savedC, savedM
 		kl.ParallelMinVertices, fm.ParallelMinVertices = savedK, savedF
 		kl.ParallelMinDegree, fm.ParallelMinDegree = savedKD, savedFD
+		spectral.ParallelMinVertices = savedS
 	})
 
 	g, err := gen.GNP(3000, 8.0/2999, rng.NewFib(47))
@@ -68,7 +72,10 @@ func TestDeterminismMatrix(t *testing.T) {
 		return cell{cut: b.Cut(), sidesHash: sh.Sum64(), traceHash: th.Sum64(), events: rec.Len()}
 	}
 
-	for _, name := range []string{"kl", "fm", "mlkl"} {
+	// "mlkl+spec" adds the sharded spectral solver to the matrix: the
+	// coarsest-level Fiedler solve (sharded matvec + fixed-block
+	// reductions) must not perturb the split at any thread count.
+	for _, name := range []string{"kl", "fm", "mlkl", "mlkl+spec"} {
 		ref := run(name, 1)
 		if ref.events == 0 {
 			t.Fatalf("%s: no trace events recorded — the trace hash pins nothing", name)

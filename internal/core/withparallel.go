@@ -1,6 +1,8 @@
 package core
 
-import "repro/internal/coarsen"
+import (
+	"repro/internal/coarsen"
+)
 
 // Parallelizable is a Bisector that can use several goroutines WITHIN a
 // single run — sharded matching and contraction in the compaction
@@ -55,6 +57,15 @@ func (a FM) WithParallel(degree int) Bisector {
 	return a
 }
 
+// WithParallel implements Parallelizable for Spectral: the solver's CSR
+// matvec shards over vertex ranges and its reductions use fixed-block
+// deterministic summation, so the Fiedler split is bit-identical at
+// every degree (see internal/spectral/workspace.go).
+func (a Spectral) WithParallel(degree int) Bisector {
+	a.Opts.ParallelDegree = degree
+	return a
+}
+
 // WithParallel implements Parallelizable for Compacted: the matching and
 // contraction phases shard across the degree (the pool attaches to the
 // compaction workspace at Bisect time), and the inner bisector is
@@ -97,6 +108,7 @@ func (b BestOf) WithParallel(degree int) Bisector {
 var (
 	_ Parallelizable = KL{}
 	_ Parallelizable = FM{}
+	_ Parallelizable = Spectral{}
 	_ Parallelizable = Compacted{}
 	_ Parallelizable = Multilevel{}
 	_ Parallelizable = BestOf{}

@@ -16,6 +16,8 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/runctl"
+	"repro/internal/trace"
 )
 
 // Options configures the algorithm.
@@ -26,6 +28,18 @@ type Options struct {
 	// MaxImbalance is the largest allowed |area(0) − area(1)| of a kept
 	// prefix; 0 means the largest cell area.
 	MaxImbalance int64
+	// Workspace, when non-nil, supplies reusable solver storage (pin
+	// lists, net side counts, gain buckets) so repeated runs over the
+	// same netlist allocate only the Result. Results are identical with
+	// or without one.
+	Workspace *Workspace
+	// Observer receives one pass_done event per FM pass (cut nets, kept
+	// moves) and a final run_done. Nil means no tracing, at zero cost.
+	Observer trace.Observer
+	// Control is polled once per pass. When it fires, Refine stops
+	// where it stands and returns the valid best-prefix result so far
+	// together with the stop sentinel; test with runctl.IsStop.
+	Control *runctl.Control
 }
 
 const safetyPassCap = 1000
@@ -38,8 +52,25 @@ type Result struct {
 	Moves   int
 }
 
-// state is the mutable pass state.
+// Workspace holds the solver's reusable storage: the netlist-derived
+// topology (pin lists, areas), the per-run side/count state, and the two
+// gain-bucket structures that Refine previously allocated every pass.
+// A workspace caches the topology of the last netlist it saw, so a
+// multi-start campaign over one netlist rebuilds nothing but the side
+// state. The zero value is ready to use; pass it via Options.Workspace.
+type Workspace struct {
+	st      state
+	buckets [2]partition.GainBuckets
+	moved   []int32
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// state is the mutable pass state. Its storage lives in (and is reused
+// through) the owning Workspace.
 type state struct {
+	w        *Workspace
 	nl       *netlist.Netlist
 	pins     [][]int32 // cell -> incident net ids
 	nets     []netlist.Net
@@ -51,26 +82,55 @@ type state struct {
 	maxArea  int64
 }
 
+// newState binds a fresh workspace — the ephemeral path and the unit
+// tests' entry into the pass state.
 func newState(nl *netlist.Netlist, sides []uint8) (*state, error) {
+	return NewWorkspace().bind(nl, sides)
+}
+
+// bind prepares the workspace's state for a run over nl from sides.
+// Topology (pins, areas) is rebuilt only when nl differs from the
+// cached netlist; the per-run side assignment and net counts are reset
+// every call.
+func (w *Workspace) bind(nl *netlist.Netlist, sides []uint8) (*state, error) {
 	cells := nl.NumCells()
 	if len(sides) != cells {
 		return nil, fmt.Errorf("hfm: side assignment covers %d of %d cells", len(sides), cells)
 	}
-	s := &state{
-		nl:    nl,
-		pins:  make([][]int32, cells),
-		nets:  nl.Nets(),
-		side:  append([]uint8(nil), sides...),
-		cnt:   make([][2]int32, nl.NumNets()),
-		areas: make([]int64, cells),
-	}
-	for i, c := range nl.Cells() {
-		s.areas[i] = int64(c.Area)
-		s.total += int64(c.Area)
-		if int64(c.Area) > s.maxArea {
-			s.maxArea = int64(c.Area)
+	s := &w.st
+	s.w = w
+	if s.nl != nl {
+		s.nl = nl
+		s.nets = nl.Nets()
+		s.pins = make([][]int32, cells)
+		s.areas = make([]int64, cells)
+		s.total, s.maxArea = 0, 0
+		for i, c := range nl.Cells() {
+			s.areas[i] = int64(c.Area)
+			s.total += int64(c.Area)
+			if int64(c.Area) > s.maxArea {
+				s.maxArea = int64(c.Area)
+			}
+		}
+		for ni, net := range s.nets {
+			for _, c := range net.Cells {
+				s.pins[c] = append(s.pins[c], int32(ni))
+			}
 		}
 	}
+	if cap(s.side) < cells {
+		s.side = make([]uint8, cells)
+	}
+	s.side = s.side[:cells]
+	copy(s.side, sides)
+	if cap(s.cnt) < nl.NumNets() {
+		s.cnt = make([][2]int32, nl.NumNets())
+	}
+	s.cnt = s.cnt[:nl.NumNets()]
+	for i := range s.cnt {
+		s.cnt[i] = [2]int32{}
+	}
+	s.sideArea = [2]int64{}
 	for i, sd := range s.side {
 		if sd > 1 {
 			return nil, fmt.Errorf("hfm: cell %d on side %d", i, sd)
@@ -79,7 +139,6 @@ func newState(nl *netlist.Netlist, sides []uint8) (*state, error) {
 	}
 	for ni, net := range s.nets {
 		for _, c := range net.Cells {
-			s.pins[c] = append(s.pins[c], int32(ni))
 			s.cnt[ni][s.side[c]]++
 		}
 	}
@@ -116,9 +175,15 @@ func (s *state) gain(c int32) int64 {
 
 // Refine improves sides in place and returns the result. The initial
 // assignment's balance is preserved up to the tolerance (or repaired
-// toward it when possible).
+// toward it when possible). When Options.Control fires mid-run the
+// result so far is returned together with the stop sentinel
+// (runctl.IsStop); any other error invalidates the result.
 func Refine(nl *netlist.Netlist, sides []uint8, opts Options) (Result, error) {
-	s, err := newState(nl, sides)
+	w := opts.Workspace
+	if w == nil {
+		w = NewWorkspace()
+	}
+	s, err := w.bind(nl, sides)
 	if err != nil {
 		return Result{}, err
 	}
@@ -127,13 +192,30 @@ func Refine(nl *netlist.Netlist, sides []uint8, opts Options) (Result, error) {
 		limit = safetyPassCap
 	}
 	res := Result{}
+	var stopErr error
+	prevCut := int64(0)
+	if opts.Observer != nil {
+		prevCut = int64(s.cutNets())
+	}
 	for p := 0; p < limit; p++ {
+		if err := opts.Control.Check(); err != nil {
+			stopErr = err
+			break
+		}
 		moves, err := s.pass(opts)
 		if err != nil {
 			return res, err
 		}
 		res.Passes++
 		res.Moves += moves
+		if opts.Observer != nil {
+			cut := int64(s.cutNets())
+			opts.Observer.Observe(trace.Event{
+				Type: trace.TypePassDone, Algo: "hfm", Index: res.Passes,
+				Cut: cut, BestCut: cut, Gain: prevCut - cut, Moves: moves,
+			})
+			prevCut = cut
+		}
 		if moves == 0 {
 			break
 		}
@@ -141,7 +223,13 @@ func Refine(nl *netlist.Netlist, sides []uint8, opts Options) (Result, error) {
 	copy(sides, s.side)
 	res.Sides = append([]uint8(nil), s.side...)
 	res.CutNets = s.cutNets()
-	return res, nil
+	if opts.Observer != nil {
+		opts.Observer.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: "hfm", Index: res.Passes,
+			Cut: int64(res.CutNets), BestCut: int64(res.CutNets), Moves: res.Moves,
+		})
+	}
+	return res, stopErr
 }
 
 // Bisect partitions the netlist from a random area-balanced start.
@@ -194,18 +282,20 @@ func (s *state) pass(opts Options) (int, error) {
 		}
 	}
 	var buckets [2]*partition.GainBuckets
-	var err error
 	for sd := 0; sd < 2; sd++ {
-		buckets[sd], err = partition.NewGainBuckets(cells, maxGain)
-		if err != nil {
+		if err := s.w.buckets[sd].Reset(cells, maxGain); err != nil {
 			return 0, err
 		}
+		buckets[sd] = &s.w.buckets[sd]
 	}
 	for c := int32(0); int(c) < cells; c++ {
 		buckets[s.side[c]].Add(c, s.gain(c))
 	}
 
-	moved := make([]int32, 0, cells)
+	if cap(s.w.moved) < cells {
+		s.w.moved = make([]int32, 0, cells)
+	}
+	moved := s.w.moved[:0]
 	var cum, bestCum int64
 	bestK := 0
 	bestImb := imb()

@@ -1,0 +1,123 @@
+package hfm
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/rng"
+	"repro/internal/runctl"
+	"repro/internal/trace"
+)
+
+func randomNetlist(t *testing.T, cells, nets int, seed uint64) *netlist.Netlist {
+	t.Helper()
+	nl, err := netlist.Random(netlist.RandomOptions{
+		Cells: cells, Nets: nets, MaxPins: 5, MaxArea: 3, Locality: 0.5,
+	}, rng.NewFib(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestRefineWorkspaceInvariance pins the workspace contract: runs with a
+// shared (and cross-netlist reused) workspace produce bit-identical
+// results to workspace-less runs.
+func TestRefineWorkspaceInvariance(t *testing.T) {
+	nlA := randomNetlist(t, 300, 450, 21)
+	nlB := randomNetlist(t, 200, 260, 22)
+	w := NewWorkspace()
+	for i, nl := range []*netlist.Netlist{nlA, nlB, nlA} {
+		bare, err := Bisect(nl, Options{}, rng.NewFib(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := Bisect(nl, Options{Workspace: w}, rng.NewFib(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bare.CutNets != reused.CutNets || bare.Passes != reused.Passes || bare.Moves != reused.Moves {
+			t.Fatalf("run %d: workspace result %+v != bare %+v", i, reused, bare)
+		}
+		for c := range bare.Sides {
+			if bare.Sides[c] != reused.Sides[c] {
+				t.Fatalf("run %d: cell %d side differs with workspace", i, c)
+			}
+		}
+	}
+}
+
+// TestRefineTrace checks the pass_done/run_done stream: one pass_done per
+// pass with the post-pass cut-net count, and a final run_done matching
+// the returned result.
+func TestRefineTrace(t *testing.T) {
+	nl := randomNetlist(t, 300, 450, 23)
+	rec := trace.NewRecorder(0)
+	res, err := Bisect(nl, Options{Observer: rec}, rng.NewFib(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, runs := 0, 0
+	for _, e := range rec.Events() {
+		switch e.Type {
+		case trace.TypePassDone:
+			passes++
+			if e.Algo != "hfm" || e.Index != passes {
+				t.Fatalf("bad pass_done: %+v", e)
+			}
+		case trace.TypeRunDone:
+			runs++
+			if e.Cut != int64(res.CutNets) || e.Index != res.Passes || e.Moves != res.Moves {
+				t.Fatalf("run_done %+v disagrees with result %+v", e, res)
+			}
+		}
+	}
+	if passes != res.Passes {
+		t.Fatalf("%d pass_done events, result says %d passes", passes, res.Passes)
+	}
+	if runs != 1 {
+		t.Fatalf("%d run_done events, want 1", runs)
+	}
+
+	// Observers must not perturb the run.
+	plain, err := Bisect(nl, Options{}, rng.NewFib(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CutNets != res.CutNets || plain.Moves != res.Moves {
+		t.Fatalf("observed run %+v != unobserved %+v", res, plain)
+	}
+}
+
+// TestRefineControl exercises cooperative truncation: a budget of one
+// checkpoint poll allows exactly one pass (the second poll fires), and
+// the truncated result is valid with the stop sentinel attached.
+func TestRefineControl(t *testing.T) {
+	nl := randomNetlist(t, 300, 450, 25)
+	sides := make([]uint8, nl.NumCells())
+	for i := range sides {
+		sides[i] = uint8(i & 1)
+	}
+	start := append([]uint8(nil), sides...)
+
+	full, err := Refine(nl, append([]uint8(nil), start...), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Passes < 2 {
+		t.Fatalf("fixture converges in %d passes — need ≥ 2 for the truncation to bite", full.Passes)
+	}
+
+	res, err := Refine(nl, sides, Options{Control: runctl.WithBudget(1)})
+	if !runctl.IsStop(err) {
+		t.Fatalf("want stop sentinel, got %v", err)
+	}
+	if res.Passes != 1 {
+		t.Fatalf("budget 1 should allow exactly one pass, ran %d", res.Passes)
+	}
+	// Passes never worsen the cut, so the one-pass truncation sits at or
+	// above the full run's cut.
+	if res.CutNets < full.CutNets {
+		t.Fatalf("one-pass cut %d below full-run cut %d — passes should only improve", res.CutNets, full.CutNets)
+	}
+}

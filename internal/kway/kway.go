@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
 
 // Partition is a k-way vertex partition.
@@ -88,31 +89,35 @@ func (p *Partition) Validate() error {
 
 // Recursive partitions g into k parts by recursive bisection with the
 // given bisector. k must be ≥ 1; k > N(g) is an error unless the graph
-// is empty.
+// is empty. It is RecursiveOpts with zero Options: the bisector is
+// wrapped with core.WithWorkspace so all splits share one workspace.
 func Recursive(g *graph.Graph, k int, bisector core.Bisector, r *rng.Rand) (*Partition, error) {
+	return RecursiveOpts(g, k, bisector, Options{}, r)
+}
+
+func validateRecursive(g *graph.Graph, k int, bisector core.Bisector) error {
 	if k < 1 {
-		return nil, fmt.Errorf("kway: k=%d < 1", k)
+		return fmt.Errorf("kway: k=%d < 1", k)
 	}
 	if k > g.N() && g.N() > 0 {
-		return nil, fmt.Errorf("kway: k=%d exceeds %d vertices", k, g.N())
+		return fmt.Errorf("kway: k=%d exceeds %d vertices", k, g.N())
 	}
 	if bisector == nil {
-		return nil, fmt.Errorf("kway: nil bisector")
+		return fmt.Errorf("kway: nil bisector")
 	}
-	p := &Partition{g: g, part: make([]int32, g.N()), k: k}
-	all := make([]int32, g.N())
-	for i := range all {
-		all[i] = int32(i)
-	}
-	if err := split(g, all, k, 0, bisector, p.part, r); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return nil
 }
 
 // split assigns parts [base, base+k) to the given vertices of g.
-func split(g *graph.Graph, vertices []int32, k int, base int32, bisector core.Bisector, out []int32, r *rng.Rand) error {
-	if k == 1 {
+func (s *splitRun) split(g *graph.Graph, vertices []int32, k int, base int32, out []int32, r *rng.Rand) error {
+	if k == 1 || s.stopErr != nil {
+		for _, v := range vertices {
+			out[v] = base
+		}
+		return nil
+	}
+	if err := s.ctl.Check(); err != nil {
+		s.stopErr = err
 		for _, v := range vertices {
 			out[v] = base
 		}
@@ -154,9 +159,17 @@ func split(g *graph.Graph, vertices []int32, k int, base int32, bisector core.Bi
 		}
 	}
 
-	bis, err := bisector.Bisect(work, r)
+	bis, err := s.bisector.Bisect(work, r)
 	if err != nil {
 		return err
+	}
+	s.splits++
+	if s.obs != nil {
+		s.obs.Observe(trace.Event{
+			Type: trace.TypeLevelDone, Algo: "kway", Phase: "split",
+			Index: s.splits, Vertices: work.N(), Edges: work.M(),
+			Cut: bis.Cut(), BestCut: bis.Cut(),
+		})
 	}
 	// Count-preserving bisectors (KL) can leave the *weight* unbalanced
 	// when the work graph carries a heavy phantom; repair to the parity
@@ -188,10 +201,10 @@ func split(g *graph.Graph, vertices []int32, k int, base int32, bisector core.Bi
 		right = append(right, left[len(left)-1])
 		left = left[:len(left)-1]
 	}
-	if err := split(g, left, kl, base, bisector, out, r); err != nil {
+	if err := s.split(g, left, kl, base, out, r); err != nil {
 		return err
 	}
-	return split(g, right, kr, base+int32(kl), bisector, out, r)
+	return s.split(g, right, kr, base+int32(kl), out, r)
 }
 
 // String summarizes the partition.

@@ -1,0 +1,69 @@
+package kway
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/runctl"
+	"repro/internal/trace"
+)
+
+// Options configures RecursiveOpts with the repository's standard run
+// treatment: trace observation, cooperative run control, and workspace
+// reuse for the inner bisector.
+type Options struct {
+	// Observer receives one level_done event per recursive split (Phase
+	// "split": the subproblem's vertex/edge counts and the cut of its
+	// bisection) and a final run_done with the k-way edge cut. Nil means
+	// no tracing, at zero cost.
+	Observer trace.Observer
+	// Control is polled once per recursive split. When it fires, the
+	// remaining unsplit subproblems collapse into their base parts and
+	// RecursiveOpts returns the (valid, partially refined) partition
+	// together with the stop sentinel; test with runctl.IsStop.
+	Control *runctl.Control
+	// KeepBisector uses the bisector exactly as passed. By default
+	// RecursiveOpts wraps it with core.WithWorkspace so the k−1 split
+	// solves share one reusable workspace — results are identical (the
+	// workspace contract), only allocations change.
+	KeepBisector bool
+}
+
+// RecursiveOpts is Recursive with the standard scenario treatment (see
+// Options). A nil-Options call is exactly Recursive.
+func RecursiveOpts(g *graph.Graph, k int, bisector core.Bisector, opts Options, r *rng.Rand) (*Partition, error) {
+	if err := validateRecursive(g, k, bisector); err != nil {
+		return nil, err
+	}
+	if !opts.KeepBisector {
+		bisector = core.WithWorkspace(bisector)
+	}
+	p := &Partition{g: g, part: make([]int32, g.N()), k: k}
+	all := make([]int32, g.N())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	s := &splitRun{bisector: bisector, obs: opts.Observer, ctl: opts.Control}
+	if err := s.split(g, all, k, 0, p.part, r); err != nil {
+		return nil, err
+	}
+	if s.obs != nil {
+		s.obs.Observe(trace.Event{
+			Type: trace.TypeRunDone, Algo: "kway", Index: s.splits,
+			Cut: p.EdgeCut(), BestCut: p.EdgeCut(),
+		})
+	}
+	return p, s.stopErr
+}
+
+// splitRun threads the per-run treatment through the recursion. Once the
+// control fires, stopErr is set and every remaining subproblem collapses
+// to its base part without invoking the bisector — the partition stays
+// structurally valid, just unrefined below the stop point.
+type splitRun struct {
+	bisector core.Bisector
+	obs      trace.Observer
+	ctl      *runctl.Control
+	splits   int
+	stopErr  error
+}

@@ -1,0 +1,99 @@
+package kway
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/runctl"
+	"repro/internal/trace"
+)
+
+// TestRecursiveOptsTrace pins the scenario treatment: one level_done per
+// split (k−1 of them), a final run_done carrying the k-way edge cut,
+// and results identical to the untreated call.
+func TestRecursiveOptsTrace(t *testing.T) {
+	g, err := gen.GNP(200, 6.0/199, rng.NewFib(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	p, err := RecursiveOpts(g, 8, core.KL{}, Options{Observer: rec}, rng.NewFib(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	splits, runs := 0, 0
+	var runCut int64
+	for _, e := range rec.Events() {
+		switch {
+		case e.Type == trace.TypeLevelDone && e.Algo == "kway" && e.Phase == "split":
+			splits++
+			if e.Vertices == 0 {
+				t.Fatalf("split event without vertex count: %+v", e)
+			}
+		case e.Type == trace.TypeRunDone && e.Algo == "kway":
+			runs++
+			runCut = e.Cut
+		}
+	}
+	if splits != 7 {
+		t.Fatalf("got %d split events for k=8, want 7", splits)
+	}
+	if runs != 1 {
+		t.Fatalf("got %d run_done events, want 1", runs)
+	}
+	if runCut != p.EdgeCut() {
+		t.Fatalf("run_done cut %d != partition cut %d", runCut, p.EdgeCut())
+	}
+
+	// The observer and the default workspace wrap must not change the
+	// result: an untraced KeepBisector run lands on the same partition.
+	q, err := RecursiveOpts(g, 8, core.KL{}, Options{KeepBisector: true}, rng.NewFib(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeCut() != p.EdgeCut() {
+		t.Fatalf("treated cut %d != untreated cut %d", p.EdgeCut(), q.EdgeCut())
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if p.Part(v) != q.Part(v) {
+			t.Fatalf("vertex %d: treated part %d != untreated part %d", v, p.Part(v), q.Part(v))
+		}
+	}
+}
+
+// TestRecursiveOptsControl exercises cooperative truncation: a budget
+// of two checkpoint polls allows two splits (the third poll fires),
+// then the remaining subproblems collapse into their base parts. The
+// result is structurally valid and comes back with the stop sentinel.
+func TestRecursiveOptsControl(t *testing.T) {
+	g, err := gen.GNP(200, 6.0/199, rng.NewFib(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	ctl := runctl.WithBudget(2)
+	p, err := RecursiveOpts(g, 8, core.KL{}, Options{Observer: rec, Control: ctl}, rng.NewFib(13))
+	if !runctl.IsStop(err) {
+		t.Fatalf("want stop sentinel, got %v", err)
+	}
+	if p == nil {
+		t.Fatal("stopped run must still return the partial partition")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	splits := 0
+	for _, e := range rec.Events() {
+		if e.Type == trace.TypeLevelDone && e.Phase == "split" {
+			splits++
+		}
+	}
+	if splits != 2 {
+		t.Fatalf("budget 2 should allow exactly 2 splits (third poll fires), got %d", splits)
+	}
+}

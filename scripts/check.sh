@@ -69,7 +69,7 @@ done
 echo "==> GOMAXPROCS=2 go test -race -count=2 (sharded pass kernels + determinism matrix)"
 GOMAXPROCS=2 go test -race -count=2 \
   -run 'TestSharded|TestDeterminismMatrix|TestRangeCursor' \
-  ./internal/partition/ ./internal/fm/ ./internal/kl/ ./internal/core/
+  ./internal/partition/ ./internal/fm/ ./internal/kl/ ./internal/core/ ./internal/spectral/
 
 # Million-vertex pipeline smoke at 10^5 scale: generate a BCSR file,
 # memory-map it, and run multilevel KL with the sharded within-run
@@ -91,14 +91,27 @@ go run ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl -starts 1 -threads 1 -va
 cmp "$smokedir/sides.t1" "$smokedir/sides.t4" \
   || { echo "FAIL: -threads changed the bisection (sides.t1 != sides.t4)"; exit 1; }
 
+# The same end-to-end smoke for the spectral-initialized multilevel
+# algorithm: the coarsest-level Lanczos Fiedler solve (sharded matvec,
+# fixed-block reductions) runs under the race detector at -threads 4,
+# and its sides must be byte-identical to the serial run — the
+# determinism contract of the spectral workspace, through the CLI.
+echo "==> bisect -alg mlkl+spec -threads 4 under -race vs -threads 1 (spectral smoke)"
+go run -race ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl+spec -starts 1 -threads 4 -validate \
+  -out "$smokedir/sides.spec.t4"
+go run ./cmd/bisect -in "$smokedir/smoke.csr" -alg mlkl+spec -starts 1 -threads 1 -validate \
+  -out "$smokedir/sides.spec.t1"
+cmp "$smokedir/sides.spec.t1" "$smokedir/sides.spec.t4" \
+  || { echo "FAIL: -threads changed the spectral bisection (sides.spec.t1 != sides.spec.t4)"; exit 1; }
+
 # The compaction arena's zero-alloc contract: matching, contraction,
 # and the full warm compact/project cycle must not touch the heap in
 # steady state — including the sharded parallel matching and parallel
 # contraction paths (TestParallelMatchSteadyAllocs and
 # TestParallelContractSteadyAllocs match the same pattern). The bench
 # gate below checks the same property from the benchmark side.
-echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ ./internal/partition/ ./internal/fm/ ./internal/kl/ (alloc contract, serial + sharded)"
-go test -count=1 -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ ./internal/partition/ ./internal/fm/ ./internal/kl/
+echo "==> go test -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ ./internal/partition/ ./internal/fm/ ./internal/kl/ ./internal/spectral/ (alloc contract, serial + sharded)"
+go test -count=1 -run 'SteadyAllocs' ./internal/coarsen/ ./internal/matching/ ./internal/partition/ ./internal/fm/ ./internal/kl/ ./internal/spectral/
 
 echo "==> go run ./cmd/bench -quick  (snapshot -> $out)"
 go run ./cmd/bench -quick -o "$out"
