@@ -11,8 +11,10 @@
 // so one command measures a fully configured instance. Each simulated
 // client loops: submit a job (unique seed), long-poll until terminal,
 // record the submit→terminal latency. Queue-full 429 responses are the
-// daemon's documented backpressure; the driver retries them with a short
-// sleep and reports the retry count. Any other error, any failed job,
+// daemon's documented backpressure; the driver honors Retry-After when
+// the daemon sends it (capped jittered exponential backoff otherwise)
+// and reports the retry count plus retry-wait percentiles separately
+// from the service latency columns. Any other error, any failed job,
 // and any cut drift between jobs sharing a seed (each series cycles
 // through 32 distinct seeds, so every seed is served many times) is
 // fatal: a load test that loses or corrupts work has failed.
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -52,6 +55,13 @@ type benchRow struct {
 	P99NS         float64 `json:"p99_ns"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	Retries429    int64   `json:"retries_429"`
+	// Retry-wait percentiles are informational: time a client spent in
+	// 429 backoff, per job, across all jobs in the series. They are kept
+	// out of the latency columns above, which measure the daemon alone
+	// (submit→terminal minus client-side backoff sleep).
+	RetryP50NS float64 `json:"retry_p50_ns,omitempty"`
+	RetryP95NS float64 `json:"retry_p95_ns,omitempty"`
+	RetryP99NS float64 `json:"retry_p99_ns,omitempty"`
 }
 
 type snapshot struct {
@@ -141,8 +151,9 @@ func run() error {
 			return err
 		}
 		rows = append(rows, row)
-		fmt.Printf("%-40s  %7.1f jobs/s   p50 %6.1fms   p95 %6.1fms   p99 %6.1fms   (429 retries: %d)\n",
-			row.Name, row.ThroughputRPS, row.P50NS/1e6, row.P95NS/1e6, row.P99NS/1e6, row.Retries429)
+		fmt.Printf("%-40s  %7.1f jobs/s   p50 %6.1fms   p95 %6.1fms   p99 %6.1fms   (429 retries: %d, retry wait p50/p95/p99 %.1f/%.1f/%.1fms)\n",
+			row.Name, row.ThroughputRPS, row.P50NS/1e6, row.P95NS/1e6, row.P99NS/1e6,
+			row.Retries429, row.RetryP50NS/1e6, row.RetryP95NS/1e6, row.RetryP99NS/1e6)
 	}
 
 	if *out != "" {
@@ -170,13 +181,14 @@ const distinctSeeds = 32
 
 func runSeries(client *http.Client, base, graphRef, alg string, starts int, seed uint64, clients, jobs, n int, deg float64) (benchRow, error) {
 	var (
-		next      atomic.Int64
-		retries   atomic.Int64
-		wg        sync.WaitGroup
-		mu        sync.Mutex
-		latencies []time.Duration
-		cuts      = make(map[uint64]int64) // seed → cut, for drift detection
-		firstErr  error
+		next       atomic.Int64
+		retries    atomic.Int64
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		latencies  []time.Duration
+		retryWaits []time.Duration
+		cuts       = make(map[uint64]int64) // seed → cut, for drift detection
+		firstErr   error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -196,7 +208,7 @@ func runSeries(client *http.Client, base, graphRef, alg string, starts int, seed
 					return
 				}
 				jobSeed := seed + 1 + uint64(i)%distinctSeeds
-				lat, cut, err := oneJob(client, base, graphRef, alg, starts, jobSeed, &retries)
+				lat, retryWait, cut, err := oneJob(client, base, graphRef, alg, starts, jobSeed, &retries)
 				if err != nil {
 					fail(fmt.Errorf("job %d: %w", i, err))
 					return
@@ -209,6 +221,7 @@ func runSeries(client *http.Client, base, graphRef, alg string, starts int, seed
 				}
 				cuts[jobSeed] = cut
 				latencies = append(latencies, lat)
+				retryWaits = append(retryWaits, retryWait)
 				mu.Unlock()
 			}
 		}()
@@ -222,32 +235,61 @@ func runSeries(client *http.Client, base, graphRef, alg string, starts int, seed
 		return benchRow{}, fmt.Errorf("lost jobs: %d of %d measured", len(latencies), jobs)
 	}
 	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	sort.Slice(retryWaits, func(i, k int) bool { return retryWaits[i] < retryWaits[k] })
 	var sum time.Duration
 	for _, l := range latencies {
 		sum += l
 	}
-	pct := func(p float64) float64 {
-		idx := int(p * float64(len(latencies)-1))
-		return float64(latencies[idx].Nanoseconds())
+	pct := func(s []time.Duration, p float64) float64 {
+		idx := int(p * float64(len(s)-1))
+		return float64(s[idx].Nanoseconds())
 	}
 	return benchRow{
 		Name:          fmt.Sprintf("svc_%s_gnp%d_d%g_c%d", alg, n, deg, clients),
 		NsPerOp:       float64(sum.Nanoseconds()) / float64(jobs),
-		P50NS:         pct(0.50),
-		P95NS:         pct(0.95),
-		P99NS:         pct(0.99),
+		P50NS:         pct(latencies, 0.50),
+		P95NS:         pct(latencies, 0.95),
+		P99NS:         pct(latencies, 0.99),
 		ThroughputRPS: float64(jobs) / wall.Seconds(),
 		Retries429:    retries.Load(),
+		RetryP50NS:    pct(retryWaits, 0.50),
+		RetryP95NS:    pct(retryWaits, 0.95),
+		RetryP99NS:    pct(retryWaits, 0.99),
 	}, nil
 }
 
+// retryBackoff computes the wait before submit attempt n (0-based
+// counting of 429s already seen): the server's Retry-After header when
+// present, otherwise capped exponential growth from 10ms; either way
+// jittered to wait/2 + rand·wait/2 so a thundering herd of clients
+// released by the same queue drain does not re-collide.
+func retryBackoff(resp *http.Response, attempt int) time.Duration {
+	wait := time.Duration(0)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(ra)); err == nil && secs >= 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+	}
+	if wait <= 0 {
+		wait = 10 * time.Millisecond << uint(min(attempt, 10))
+		if wait > time.Second {
+			wait = time.Second
+		}
+	}
+	half := wait / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 // oneJob submits one job and long-polls it to a terminal state,
-// returning the submit→terminal latency and the final cut.
-func oneJob(client *http.Client, base, graphRef, alg string, starts int, seed uint64, retries *atomic.Int64) (time.Duration, int64, error) {
+// returning the daemon-attributable latency (submit→terminal minus
+// client-side backoff sleep), the total backoff sleep, and the final
+// cut.
+func oneJob(client *http.Client, base, graphRef, alg string, starts int, seed uint64, retries *atomic.Int64) (time.Duration, time.Duration, int64, error) {
 	spec, _ := json.Marshal(map[string]any{
 		"graph": graphRef, "algorithm": alg, "starts": starts, "seed": seed,
 	})
 	t0 := time.Now()
+	var retryWait time.Duration
 	var job struct {
 		ID     string `json:"id"`
 		State  string `json:"state"`
@@ -256,38 +298,40 @@ func oneJob(client *http.Client, base, graphRef, alg string, starts int, seed ui
 			Cut int64 `json:"cut"`
 		} `json:"result"`
 	}
-	for {
+	for attempt := 0; ; attempt++ {
 		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(spec))
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			// Documented backpressure: honor it and retry.
+			wait := retryBackoff(resp, attempt)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			retries.Add(1)
-			time.Sleep(5 * time.Millisecond)
+			time.Sleep(wait)
+			retryWait += wait
 			continue
 		}
 		if err := decodeOK(resp, &job); err != nil {
-			return 0, 0, fmt.Errorf("submit: %w", err)
+			return 0, 0, 0, fmt.Errorf("submit: %w", err)
 		}
 		break
 	}
 	for !terminal(job.State) {
 		resp, err := client.Get(base + "/v1/jobs/" + job.ID + "?wait_ms=10000")
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 		if err := decodeOK(resp, &job); err != nil {
-			return 0, 0, fmt.Errorf("poll: %w", err)
+			return 0, 0, 0, fmt.Errorf("poll: %w", err)
 		}
 	}
-	lat := time.Since(t0)
+	lat := time.Since(t0) - retryWait
 	if job.State != "done" || job.Result == nil {
-		return 0, 0, fmt.Errorf("job %s ended %s (%s)", job.ID, job.State, job.Error)
+		return 0, 0, 0, fmt.Errorf("job %s ended %s (%s)", job.ID, job.State, job.Error)
 	}
-	return lat, job.Result.Cut, nil
+	return lat, retryWait, job.Result.Cut, nil
 }
 
 func terminal(state string) bool {

@@ -3,7 +3,11 @@
 // API — graph upload with content-hash caching, a bounded job queue with
 // backpressure, a fixed worker pool with reusable zero-alloc workspaces,
 // per-job deadlines and deterministic checkpoint budgets, convergence
-// streaming over SSE, and crash-safe job persistence.
+// streaming over SSE, and crash-safe job persistence. Persistence
+// failures degrade rather than fail: the daemon keeps serving from
+// memory, reports the state on GET /v1/readyz, and re-probes the disk
+// every -persist-probe until writes heal (docs/SERVICE.md, "Degraded
+// persistence").
 //
 // The HTTP contract is docs/SERVICE.md. Quickstart:
 //
@@ -48,6 +52,7 @@ func run() error {
 	cache := flag.Int("cache", 128, "graph-cache capacity (graphs, LRU)")
 	maxGraphBytes := flag.Int64("max-graph-bytes", 64<<20, "graph upload size cap")
 	maxStarts := flag.Int("max-starts", 4096, "per-job cap on starts")
+	persistProbe := flag.Duration("persist-probe", 2*time.Second, "degraded-persistence re-probe interval (see GET /v1/readyz)")
 	flag.Parse()
 
 	srv, err := service.New(service.Config{
@@ -58,6 +63,7 @@ func run() error {
 		CacheEntries:  *cache,
 		MaxGraphBytes: *maxGraphBytes,
 		MaxStarts:     *maxStarts,
+		PersistProbe:  *persistProbe,
 	})
 	if err != nil {
 		return err

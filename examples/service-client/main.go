@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	bisect "repro"
 	"repro/internal/service"
@@ -93,23 +94,62 @@ func run() error {
 
 	// Stream the convergence curve: each SSE frame is one trace event
 	// (docs/OBSERVABILITY.md schema); the stream ends with a terminal
-	// frame named after the job's final state.
-	resp, err := http.Get(base + "/v1/jobs/" + job.ID + "/events")
+	// frame named after the job's final state. The stream survives a
+	// daemon restart: every frame carries an id, so on EOF the client
+	// reconnects with Last-Event-ID and resumes where it left off — a
+	// persisted daemon re-runs the job deterministically, regenerating
+	// the identical event sequence.
+	fmt.Printf("%-7s %-12s %6s %10s %10s\n", "start", "event", "index", "cut", "best")
+	lastID := ""
+	const maxConnects = 30
+	for attempt := 0; attempt < maxConnects; attempt++ {
+		if attempt > 0 {
+			fmt.Fprintf(os.Stderr, "stream interrupted — reconnecting (resume after event %q)\n", lastID)
+			time.Sleep(500 * time.Millisecond)
+		}
+		done, err := streamEvents(base, job.ID, &lastID)
+		if done {
+			return nil
+		}
+		if err != nil && attempt == 0 && lastID == "" {
+			// The very first connection failed before any frame arrived:
+			// that is a bad address or a dead daemon, not a restart.
+			return fmt.Errorf("reading stream: %v", err)
+		}
+	}
+	return fmt.Errorf("stream did not complete after %d connections", maxConnects)
+}
+
+// streamEvents subscribes to the job's event stream, resuming after
+// *lastID when set, renders each frame, and advances *lastID as frames
+// arrive. It returns done=true once the terminal frame has been
+// rendered; any other return (connection refused while the daemon is
+// down, mid-stream EOF from a kill) is a signal to reconnect.
+func streamEvents(base, jobID string, lastID *string) (bool, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+jobID+"/events", nil)
 	if err != nil {
-		return err
+		return false, err
+	}
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("events: HTTP %d", resp.StatusCode)
+		return false, fmt.Errorf("events: HTTP %d", resp.StatusCode)
 	}
-	fmt.Printf("%-7s %-12s %6s %10s %10s\n", "start", "event", "index", "cut", "best")
-	var eventName, data string
+	var eventName, data, frameID string
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "id: "):
+			frameID = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "event: "):
 			eventName = strings.TrimPrefix(line, "event: ")
 		case strings.HasPrefix(line, "data: "):
@@ -117,16 +157,18 @@ func run() error {
 		case line == "": // frame complete
 			if eventName != "" && data != "" {
 				if done := render(eventName, data); done {
-					return nil
+					return true, nil
 				}
 			}
-			eventName, data = "", ""
+			if frameID != "" {
+				*lastID = frameID
+			}
+			eventName, data, frameID = "", "", ""
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("reading stream: %v", err)
-	}
-	return fmt.Errorf("stream ended without a terminal frame")
+	// A scanner error or a clean EOF without a terminal frame both mean
+	// the connection died mid-stream; the caller reconnects.
+	return false, sc.Err()
 }
 
 // render prints one frame of the curve; it returns true on the

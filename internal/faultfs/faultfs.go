@@ -1,0 +1,237 @@
+// Package faultfs is a deterministic fault-injecting filesystem behind
+// the internal/fsx seam. It wraps a real (or nested) fsx.FS and injects
+// storage failures — ENOSPC, fsync errors, rename failures, short/torn
+// writes, and read-back bit corruption — according to a seeded schedule,
+// so every failure a test provokes is exactly reproducible from the
+// schedule's seed.
+//
+// # Schedule format
+//
+// A Plan is (seed, per-operation probabilities, warmup, cap). Every
+// faultable operation — each Write call on a temp file, each Sync
+// (files and directories), each Rename, each whole-file Read — draws
+// from one lagged-Fibonacci stream seeded by Plan.Seed, in operation
+// order. The k-th faultable operation therefore always gets the same
+// verdict for a given seed: re-running the same sequence of filesystem
+// operations against the same plan replays the same faults at the same
+// points. (Under concurrent writers the interleaving of operations is
+// scheduling-dependent; chaos tests that need exact replay drive the
+// store single-writer.)
+//
+// Injected errors wrap the real errno (syscall.ENOSPC for write faults,
+// syscall.EIO for sync/rename faults) so production code's errors.Is
+// checks behave exactly as they would on a failing disk. Read corruption
+// flips one seeded bit in the returned copy — the file on disk is never
+// touched — which is how tests exercise checksum detection and
+// quarantine paths without a corrupting writer.
+//
+// See docs/ROBUSTNESS.md "Fault injection and chaos testing".
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+
+	"repro/internal/fsx"
+	"repro/internal/rng"
+)
+
+// Plan is a seeded fault schedule. Probabilities are per faultable
+// operation, in [0,1]; zero disables that fault class.
+type Plan struct {
+	// Seed keys the schedule's random stream. Every fault the plan ever
+	// injects is a deterministic function of (Seed, operation index).
+	Seed uint64
+	// PWrite is the probability a Write call fails. Half the injected
+	// write faults (seeded coin) are clean ENOSPC (no bytes written),
+	// half are torn: a prefix of the buffer is written, then ENOSPC.
+	PWrite float64
+	// PSync is the probability a Sync (file or directory) fails with EIO.
+	PSync float64
+	// PRename is the probability a Rename fails with EIO.
+	PRename float64
+	// PRead is the probability a ReadFile returns a copy with one seeded
+	// bit flipped.
+	PRead float64
+	// Warmup exempts the first N faultable operations, so a test can let
+	// setup writes through before the weather starts.
+	Warmup int64
+	// MaxFaults caps the total injected faults (0 = unlimited).
+	MaxFaults int64
+}
+
+// Fault is one injected failure, recorded for assertions and replay
+// diagnostics.
+type Fault struct {
+	// N is the 1-based index of the faultable operation that failed.
+	N int64
+	// Op is "write", "sync", "rename", or "read".
+	Op string
+	// Kind is "enospc", "torn", "sync", "rename", or "bitflip".
+	Kind string
+	// Path is the file the operation targeted.
+	Path string
+}
+
+// FS wraps an inner fsx.FS with the fault schedule. Safe for concurrent
+// use; the schedule stream is drawn under a lock in operation order.
+type FS struct {
+	inner fsx.FS
+	plan  Plan
+
+	mu       sync.Mutex
+	rnd      *rng.Rand
+	ops      int64
+	injected []Fault
+	disabled bool
+}
+
+// New wraps inner with the given plan.
+func New(inner fsx.FS, plan Plan) *FS {
+	return &FS{inner: inner, plan: plan, rnd: rng.NewFib(plan.Seed)}
+}
+
+// Ops returns the number of faultable operations seen so far.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Faults returns a copy of the injected-fault log.
+func (f *FS) Faults() []Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Fault(nil), f.injected...)
+}
+
+// SetDisabled turns injection off (true) or back on (false) without
+// perturbing the operation counter or the random stream position.
+func (f *FS) SetDisabled(v bool) {
+	f.mu.Lock()
+	f.disabled = v
+	f.mu.Unlock()
+}
+
+// decide advances the operation counter and draws the verdict for one
+// faultable operation. extra seeded draws (for torn-write lengths and
+// bit positions) are taken by the caller-supplied closure under the same
+// lock, keeping the stream position a pure function of the op sequence.
+func (f *FS) decide(op, path string, p float64, kind func(u float64) string) (Fault, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	u := f.rnd.Float64() // always drawn, so disabling doesn't shift the stream
+	if f.disabled || p <= 0 || f.ops <= f.plan.Warmup || u >= p {
+		return Fault{}, false
+	}
+	if f.plan.MaxFaults > 0 && int64(len(f.injected)) >= f.plan.MaxFaults {
+		return Fault{}, false
+	}
+	ft := Fault{N: f.ops, Op: op, Path: path, Kind: kind(f.rnd.Float64())}
+	f.injected = append(f.injected, ft)
+	return ft, true
+}
+
+// corruptCopy returns data with one seeded bit flipped (data unchanged).
+func (f *FS) corruptCopy(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	f.mu.Lock()
+	idx := f.rnd.Intn(len(data))
+	bit := f.rnd.Intn(8)
+	f.mu.Unlock()
+	out := append([]byte(nil), data...)
+	out[idx] ^= 1 << bit
+	return out
+}
+
+func injected(ft Fault, errno error) error {
+	return fmt.Errorf("faultfs: injected %s fault on %s (op %d): %w", ft.Kind, ft.Path, ft.N, errno)
+}
+
+// --- fsx.FS ---
+
+func (f *FS) CreateTemp(dir, pattern string) (fsx.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) Open(name string) (fsx.File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if ft, ok := f.decide("rename", newpath, f.plan.PRename, func(float64) string { return "rename" }); ok {
+		return injected(ft, syscall.EIO)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error { return f.inner.Remove(name) }
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := f.decide("read", name, f.plan.PRead, func(float64) string { return "bitflip" }); ok {
+		return f.corruptCopy(data), nil
+	}
+	return data, nil
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error)   { return f.inner.ReadDir(name) }
+func (f *FS) Stat(name string) (os.FileInfo, error)        { return f.inner.Stat(name) }
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+// faultFile intercepts Write and Sync on an open file (or directory)
+// handle.
+type faultFile struct {
+	fs    *FS
+	inner fsx.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ft, ok := ff.fs.decide("write", ff.inner.Name(), ff.fs.plan.PWrite, func(u float64) string {
+		if u < 0.5 {
+			return "enospc"
+		}
+		return "torn"
+	})
+	if !ok {
+		return ff.inner.Write(p)
+	}
+	if ft.Kind == "torn" && len(p) > 1 {
+		// A torn write: half the buffer reaches the file, then the device
+		// fills. The caller must treat the short count + error as failure.
+		n, werr := ff.inner.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, injected(ft, syscall.ENOSPC)
+	}
+	return 0, injected(ft, syscall.ENOSPC)
+}
+
+func (ff *faultFile) Read(p []byte) (int, error)   { return ff.inner.Read(p) }
+func (ff *faultFile) Chmod(mode os.FileMode) error { return ff.inner.Chmod(mode) }
+func (ff *faultFile) Close() error                 { return ff.inner.Close() }
+func (ff *faultFile) Name() string                 { return ff.inner.Name() }
+
+func (ff *faultFile) Sync() error {
+	if ft, ok := ff.fs.decide("sync", ff.inner.Name(), ff.fs.plan.PSync, func(float64) string { return "sync" }); ok {
+		return injected(ft, syscall.EIO)
+	}
+	return ff.inner.Sync()
+}

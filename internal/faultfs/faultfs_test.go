@@ -1,0 +1,247 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/fsx"
+)
+
+// always is a plan that faults every operation of the given class.
+func always(seed uint64) Plan {
+	return Plan{Seed: seed}
+}
+
+func writeThrough(t *testing.T, fs fsx.FS, path, data string) error {
+	t.Helper()
+	return fsx.WriteFileAtomicFS(fs, path, []byte(data), 0o644)
+}
+
+func assertIntact(t *testing.T, path, want string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if want == "" {
+		if !os.IsNotExist(err) {
+			t.Fatalf("%s should not exist, read: %q %v", path, got, err)
+		}
+		return
+	}
+	if err != nil || string(got) != want {
+		t.Fatalf("%s = %q, %v; want %q", path, got, err, want)
+	}
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+// The unit matrix: each fault class, driven through WriteFileAtomicFS,
+// must surface the right errno and leave the previous file intact with
+// no temp droppings.
+func TestWriteFaultENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := writeThrough(t, fsx.OS, path, "previous"); err != nil {
+		t.Fatal(err)
+	}
+	// Scan seeds until the injector picks the clean-ENOSPC arm.
+	for seed := uint64(1); ; seed++ {
+		p := always(seed)
+		p.PWrite = 1
+		ffs := New(fsx.OS, p)
+		err := writeThrough(t, ffs, path, "replacement")
+		if err == nil {
+			t.Fatal("write with PWrite=1 succeeded")
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("err = %v, want ENOSPC", err)
+		}
+		assertIntact(t, path, "previous")
+		assertNoTemps(t, dir)
+		faults := ffs.Faults()
+		if len(faults) != 1 || faults[0].Op != "write" {
+			t.Fatalf("fault log = %+v", faults)
+		}
+		if faults[0].Kind == "enospc" {
+			return // clean arm exercised
+		}
+		if seed > 64 {
+			t.Fatal("no seed in 1..64 produced a clean ENOSPC write fault")
+		}
+	}
+}
+
+func TestWriteFaultTorn(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := writeThrough(t, fsx.OS, path, "previous"); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); ; seed++ {
+		p := always(seed)
+		p.PWrite = 1
+		ffs := New(fsx.OS, p)
+		err := writeThrough(t, ffs, path, "this buffer is long enough to tear in half")
+		if err == nil {
+			t.Fatal("write with PWrite=1 succeeded")
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("err = %v, want ENOSPC", err)
+		}
+		// The torn prefix went to the TEMP file only; the target is intact.
+		assertIntact(t, path, "previous")
+		assertNoTemps(t, dir)
+		if fl := ffs.Faults(); len(fl) == 1 && fl[0].Kind == "torn" {
+			return
+		}
+		if seed > 64 {
+			t.Fatal("no seed in 1..64 produced a torn write fault")
+		}
+	}
+}
+
+func TestSyncFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	p := always(3)
+	p.PSync = 1
+	ffs := New(fsx.OS, p)
+	err := writeThrough(t, ffs, path, "data")
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	assertIntact(t, path, "")
+	assertNoTemps(t, dir)
+}
+
+func TestRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	if err := writeThrough(t, fsx.OS, path, "previous"); err != nil {
+		t.Fatal(err)
+	}
+	p := always(4)
+	p.PRename = 1
+	ffs := New(fsx.OS, p)
+	err := writeThrough(t, ffs, path, "replacement")
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	assertIntact(t, path, "previous")
+	assertNoTemps(t, dir)
+}
+
+func TestReadBitFlipCaughtByCRC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.json")
+	payload := []byte(`{"schema":"bisectd-job/v1","id":"j-1","state":"done"}`)
+	if err := fsx.WriteFileAtomic(path, fsx.AppendCRC(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := always(5)
+	p.PRead = 1
+	ffs := New(fsx.OS, p)
+	data, err := ffs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsx.SplitCRC(path, data); err == nil {
+		t.Fatal("bit-flipped read passed CRC verification")
+	} else {
+		var ce *fsx.CorruptRecordError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %T %v, want *fsx.CorruptRecordError", err, err)
+		}
+	}
+	// The file on disk is untouched: a clean read verifies.
+	clean, err := fsx.OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsx.SplitCRC(path, clean); err != nil {
+		t.Fatalf("on-disk bytes were corrupted: %v", err)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) []Fault {
+		dir := t.TempDir()
+		p := Plan{Seed: seed, PWrite: 0.3, PSync: 0.3, PRename: 0.3, PRead: 0.3}
+		ffs := New(fsx.OS, p)
+		for i := 0; i < 40; i++ {
+			path := filepath.Join(dir, "f.json")
+			_ = fsx.WriteFileAtomicFS(ffs, path, []byte(strings.Repeat("x", 64)), 0o644)
+			_, _ = ffs.ReadFile(path)
+		}
+		faults := ffs.Faults()
+		// Paths differ across TempDirs; compare the schedule shape only.
+		for i := range faults {
+			faults[i].Path = ""
+		}
+		return faults
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("schedule with p=0.3 over 40 rounds injected nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%+v\nvs\n%+v", a, b)
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestWarmupAndMaxFaults(t *testing.T) {
+	dir := t.TempDir()
+	p := Plan{Seed: 7, PWrite: 1, Warmup: 3, MaxFaults: 2}
+	ffs := New(fsx.OS, p)
+	var failures int
+	for i := 0; i < 10; i++ {
+		err := writeThrough(t, ffs, filepath.Join(dir, "f.json"), "data")
+		if err != nil {
+			failures++
+		}
+	}
+	faults := ffs.Faults()
+	if int64(len(faults)) != p.MaxFaults {
+		t.Fatalf("injected %d faults, want MaxFaults=%d", len(faults), p.MaxFaults)
+	}
+	for _, ft := range faults {
+		if ft.N <= p.Warmup {
+			t.Fatalf("fault at op %d inside warmup %d", ft.N, p.Warmup)
+		}
+	}
+	if failures != int(p.MaxFaults) {
+		t.Fatalf("%d write failures, want %d", failures, p.MaxFaults)
+	}
+}
+
+func TestSetDisabled(t *testing.T) {
+	dir := t.TempDir()
+	p := Plan{Seed: 9, PWrite: 1}
+	ffs := New(fsx.OS, p)
+	ffs.SetDisabled(true)
+	if err := writeThrough(t, ffs, filepath.Join(dir, "f.json"), "data"); err != nil {
+		t.Fatalf("disabled injector still faulted: %v", err)
+	}
+	ffs.SetDisabled(false)
+	if err := writeThrough(t, ffs, filepath.Join(dir, "g.json"), "data"); err == nil {
+		t.Fatal("re-enabled injector did not fault")
+	}
+}

@@ -1,0 +1,91 @@
+package fsx
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// CRC32 trailers protect persisted records against bit rot and torn
+// writes that slip past the rename-atomic protocol (a forged rename, a
+// corrupted block under an intact file, a foreign tool truncating the
+// file). The trailer is a final line appended after the payload:
+//
+//	<payload bytes, exactly as given>
+//	\n#crc32:xxxxxxxx\n
+//
+// where xxxxxxxx is the IEEE CRC32 of the payload in lowercase hex. The
+// trailer always starts with its own newline, so SplitCRC restores the
+// payload byte-for-byte. Records missing the trailer are treated as
+// corrupt — silent acceptance of unverifiable bytes is exactly what the
+// trailer exists to prevent.
+
+// crcTrailerLen is len("\n#crc32:") + 8 hex digits + len("\n").
+const crcTrailerLen = 17
+
+const crcTrailerPrefix = "\n#crc32:"
+
+// CorruptRecordError reports a persisted record whose bytes fail
+// checksum verification (or carry no checksum at all). Expected is the
+// checksum stored in the trailer, Got the checksum computed from the
+// payload bytes; for a missing or malformed trailer Expected is zero and
+// Reason says why.
+type CorruptRecordError struct {
+	Path     string
+	Expected uint32
+	Got      uint32
+	Reason   string
+}
+
+func (e *CorruptRecordError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("fsx: corrupt record %s: %s", e.Path, e.Reason)
+	}
+	return fmt.Sprintf("fsx: corrupt record %s: crc32 mismatch (expected %08x, got %08x)",
+		e.Path, e.Expected, e.Got)
+}
+
+// AppendCRC returns payload with its CRC32 trailer appended. The result
+// is what gets persisted; SplitCRC reverses it exactly.
+func AppendCRC(payload []byte) []byte {
+	sum := crc32.ChecksumIEEE(payload)
+	out := make([]byte, 0, len(payload)+crcTrailerLen)
+	out = append(out, payload...)
+	out = append(out, crcTrailerPrefix...)
+	out = fmt.Appendf(out, "%08x", sum)
+	return append(out, '\n')
+}
+
+// SplitCRC verifies data's CRC32 trailer and returns the payload with
+// the trailer stripped. A missing, malformed, or mismatching trailer
+// returns a *CorruptRecordError naming path (path is only used for the
+// error; no file is touched).
+func SplitCRC(path string, data []byte) ([]byte, error) {
+	if len(data) < crcTrailerLen {
+		return nil, &CorruptRecordError{Path: path, Reason: "missing crc32 trailer"}
+	}
+	trailer := data[len(data)-crcTrailerLen:]
+	if string(trailer[:len(crcTrailerPrefix)]) != crcTrailerPrefix || trailer[crcTrailerLen-1] != '\n' {
+		return nil, &CorruptRecordError{Path: path, Reason: "missing crc32 trailer"}
+	}
+	// Strict lowercase-hex parse: a looser parser (Sscanf %x) would accept
+	// case-flipped digits, i.e. silently pass certain single-bit flips
+	// inside the trailer itself.
+	var expected uint32
+	for _, c := range trailer[len(crcTrailerPrefix) : crcTrailerLen-1] {
+		var v uint32
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint32(c-'a') + 10
+		default:
+			return nil, &CorruptRecordError{Path: path, Reason: "malformed crc32 trailer"}
+		}
+		expected = expected<<4 | v
+	}
+	payload := data[:len(data)-crcTrailerLen]
+	if got := crc32.ChecksumIEEE(payload); got != expected {
+		return nil, &CorruptRecordError{Path: path, Expected: expected, Got: got}
+	}
+	return payload, nil
+}

@@ -1,0 +1,97 @@
+package fsx
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCRCRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("x"),
+		[]byte(`{"schema":"bisectd-job/v1","id":"j-1"}`),
+		[]byte("line one\nline two\n"),
+		bytes.Repeat([]byte{0x00, 0xff, '\n'}, 1000),
+	} {
+		sealed := AppendCRC(payload)
+		got, err := SplitCRC("test", sealed)
+		if err != nil {
+			t.Fatalf("SplitCRC(%q...): %v", sealed[:min(len(sealed), 20)], err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip: got %q, want %q", got, payload)
+		}
+	}
+}
+
+func TestCRCTrailerShape(t *testing.T) {
+	sealed := AppendCRC([]byte("payload"))
+	s := string(sealed)
+	if !strings.HasPrefix(s, "payload\n#crc32:") || !strings.HasSuffix(s, "\n") {
+		t.Fatalf("trailer shape wrong: %q", s)
+	}
+	if len(sealed) != len("payload")+crcTrailerLen {
+		t.Fatalf("trailer length %d, want %d", len(sealed)-len("payload"), crcTrailerLen)
+	}
+}
+
+func TestCRCDetectsBitFlip(t *testing.T) {
+	payload := []byte(`{"schema":"bisectd-job/v1","id":"j-7","state":"done"}`)
+	sealed := AppendCRC(payload)
+	// Flip every bit position in turn; every single flip must be caught.
+	for i := range sealed {
+		for b := 0; b < 8; b++ {
+			mut := append([]byte(nil), sealed...)
+			mut[i] ^= 1 << b
+			_, err := SplitCRC("rec.json", mut)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted silently", i, b)
+			}
+			var ce *CorruptRecordError
+			if !errors.As(err, &ce) {
+				t.Fatalf("bit flip error not *CorruptRecordError: %T %v", err, err)
+			}
+			if ce.Path != "rec.json" {
+				t.Fatalf("error path = %q", ce.Path)
+			}
+		}
+	}
+}
+
+func TestCRCMissingTrailer(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("no trailer here, but long enough to hold one......"),
+		AppendCRC([]byte("truncated"))[:20], // cut mid-trailer
+	} {
+		_, err := SplitCRC("p", data)
+		var ce *CorruptRecordError
+		if !errors.As(err, &ce) {
+			t.Fatalf("data %q: err = %v, want *CorruptRecordError", data, err)
+		}
+		if ce.Reason == "" {
+			t.Fatalf("data %q: missing-trailer error should carry a Reason", data)
+		}
+	}
+}
+
+func TestCRCMismatchReportsChecksums(t *testing.T) {
+	sealed := AppendCRC([]byte("original"))
+	// Corrupt the payload but keep the trailer intact.
+	sealed[0] ^= 0x01
+	_, err := SplitCRC("p", sealed)
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v", err)
+	}
+	if ce.Expected == ce.Got {
+		t.Fatalf("expected != got checksums should differ: %08x", ce.Expected)
+	}
+	if !strings.Contains(ce.Error(), "crc32 mismatch") {
+		t.Fatalf("error text: %q", ce.Error())
+	}
+}

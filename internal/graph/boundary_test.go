@@ -3,6 +3,9 @@ package graph
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,38 +93,116 @@ func TestBCSRCompactOffsetOverflow(t *testing.T) {
 	}
 }
 
-// FuzzReadBCSR drives the BCSR reader with hostile images. Seeds cover
-// the validation boundaries this PR touches: the vertex cap, an edge
-// count that overflows int32 offsets (must be forced onto the wide-CSR
-// path or refused), and a truncated valid prefix.
-func FuzzReadBCSR(f *testing.F) {
-	// A small valid image as the mutation base.
+// validBCSRImage returns the serialized bytes of a small valid graph —
+// the mutation base for corruption tests and fuzz seeds.
+func validBCSRImage(tb testing.TB) []byte {
 	b := NewBuilder(4)
 	b.AddEdge(0, 1)
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 3)
 	g, err := b.Build()
 	if err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
 	var buf bytes.Buffer
 	if err := WriteCSRFile(&buf, g); err != nil {
-		f.Fatal(err)
+		tb.Fatal(err)
 	}
-	f.Add(buf.Bytes())
-	f.Add(buf.Bytes()[:csrHeaderSize])
+	return buf.Bytes()
+}
+
+// flipBit returns a copy of data with one bit flipped.
+func flipBit(data []byte, byteIdx, bit int) []byte {
+	out := append([]byte(nil), data...)
+	out[byteIdx] ^= 1 << bit
+	return out
+}
+
+// FuzzReadBCSR drives the BCSR reader with hostile images. Seeds cover
+// the validation boundaries this PR touches: the vertex cap, an edge
+// count that overflows int32 offsets (must be forced onto the wide-CSR
+// path or refused), truncations, and mid-section single-bit flips in a
+// valid image — corruptions that pass the header checks and must be
+// caught by the structural sweep. Any rejection must carry
+// ErrCorruptBCSR; any acceptance must yield a Validate-clean graph.
+func FuzzReadBCSR(f *testing.F) {
+	valid := validBCSRImage(f)
+	f.Add(valid)
+	f.Add(valid[:csrHeaderSize])
 	f.Add(bcsrHeader(MaxVertices, 2, 0))
 	f.Add(bcsrHeader(MaxVertices+1, 2, 0))
 	f.Add(bcsrHeader(1<<20, 1<<30, 0))           // int32 offset overflow, compact
 	f.Add(bcsrHeader(1<<20, 1<<30, csrFlagWide)) // int32 offset overflow, wide
 	f.Add(bcsrHeader(1<<62, 1<<62, csrFlagVW))
+	// Mid-section bit flips past the header: offsets, edges, wdeg. The
+	// header (size, counts, flags) still validates; the body sweep must
+	// reject. Also truncations that keep a plausible header.
+	for _, idx := range []int{csrHeaderSize + 1, csrHeaderSize + 16, len(valid) - 9, len(valid) - 1} {
+		f.Add(flipBit(valid, idx, 0))
+		f.Add(flipBit(valid, idx, 7))
+	}
+	f.Add(valid[:len(valid)-8])
+	f.Add(valid[:len(valid)-1])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadCSRFile(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrCorruptBCSR) {
+				t.Fatalf("BCSR rejection not typed ErrCorruptBCSR: %v", err)
+			}
 			return
 		}
 		if verr := g.Validate(); verr != nil {
 			t.Fatalf("BCSR reader accepted invalid graph: %v", verr)
 		}
 	})
+}
+
+// TestBCSRCorruptionTyped holds both loaders — the copying ReadCSRFile
+// and the mmap OpenCSRFile — to the same contract on damaged images:
+// a typed ErrCorruptBCSR, never a panic, never silent acceptance. The
+// mutations are single-bit flips in every section of a valid image plus
+// truncations that keep the header intact.
+func TestBCSRCorruptionTyped(t *testing.T) {
+	valid := validBCSRImage(t)
+	type mutation struct {
+		name string
+		data []byte
+	}
+	muts := []mutation{
+		{"offset-flip", flipBit(valid, csrHeaderSize+1, 3)},
+		// Bit 2 pushes a neighbor id in [0,4) out of range — a low-bit flip
+		// could instead yield an asymmetric-but-consistent image, which the
+		// sweep documents as the writer's contract (Validate's job).
+		{"edge-head-flip", flipBit(valid, csrHeaderSize+5*8, 2)},
+		{"wdeg-flip", flipBit(valid, len(valid)-5, 2)},
+		{"tail-truncated", valid[:len(valid)-8]},
+		{"ragged-truncated", valid[:len(valid)-3]},
+		{"header-aggregate-flip", flipBit(valid, 33, 0)}, // total edge weight
+	}
+	dir := t.TempDir()
+	for _, mut := range muts {
+		t.Run(mut.name, func(t *testing.T) {
+			// Copying loader.
+			if g, err := ReadCSRFile(bytes.NewReader(mut.data)); err == nil {
+				// A flip can land in padding or dead bytes; acceptance is then
+				// only legal if the graph is fully valid.
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("ReadCSRFile accepted corrupt image: %v", verr)
+				}
+				t.Skip("mutation landed in dead bytes")
+			} else if !errors.Is(err, ErrCorruptBCSR) {
+				t.Fatalf("ReadCSRFile error not typed: %v", err)
+			}
+			// Mmap loader, through a real file.
+			path := filepath.Join(dir, mut.name+".bcsr")
+			if err := os.WriteFile(path, mut.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenCSRFile(path); err == nil {
+				t.Fatal("OpenCSRFile accepted an image ReadCSRFile refused")
+			} else if !errors.Is(err, ErrCorruptBCSR) {
+				t.Fatalf("OpenCSRFile error not typed: %v", err)
+			}
+		})
+	}
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -48,6 +49,22 @@ import (
 // The mapped memory is read-only. Nothing in the public Graph API
 // mutates CSR storage, so a mapped Graph is usable everywhere an
 // in-memory one is; it remains valid until CSRFile.Close.
+
+// ErrCorruptBCSR is wrapped by every validation failure the BCSR loaders
+// can report about the file's *contents* — truncation, bad magic, offset
+// or aggregate inconsistencies, out-of-range fields. Callers distinguish
+// "this file is damaged" (errors.Is(err, ErrCorruptBCSR): quarantine or
+// regenerate it) from environmental failures (missing file, permissions,
+// big-endian host) that retrying or fixing the setup can cure. Both
+// OpenCSRFile and ReadCSRFile return it; neither ever panics on
+// attacker-controlled bytes — the fuzz harness in boundary_test.go holds
+// them to that.
+var ErrCorruptBCSR = errors.New("corrupt BCSR image")
+
+// bcsrErrf builds a validation error carrying ErrCorruptBCSR.
+func bcsrErrf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCorruptBCSR)
+}
 
 const (
 	csrMagic      = "BCSRG1\x00\x00"
@@ -225,13 +242,13 @@ func ReadCSRFile(r io.Reader) (*Graph, error) {
 // values recomputed from the edges.
 func parseCSRInto(g *Graph, data []byte) error {
 	if !hostLittleEndian {
-		return fmt.Errorf("BCSR requires a little-endian host")
+		return bcsrErrf("BCSR requires a little-endian host")
 	}
 	if len(data) < csrHeaderSize {
-		return fmt.Errorf("BCSR file truncated: %d bytes", len(data))
+		return bcsrErrf("BCSR file truncated: %d bytes", len(data))
 	}
 	if string(data[0:8]) != csrMagic {
-		return fmt.Errorf("not a BCSR file (bad magic)")
+		return bcsrErrf("not a BCSR file (bad magic)")
 	}
 	n := binary.LittleEndian.Uint64(data[8:16])
 	m := binary.LittleEndian.Uint64(data[16:24])
@@ -242,25 +259,25 @@ func parseCSRInto(g *Graph, data []byte) error {
 	maxWDeg := int64(binary.LittleEndian.Uint64(data[56:64]))
 	maxVW := int64(binary.LittleEndian.Uint64(data[64:72]))
 	if flags&^(csrFlagWide|csrFlagVW) != 0 {
-		return fmt.Errorf("BCSR flags %#x unsupported", flags)
+		return bcsrErrf("BCSR flags %#x unsupported", flags)
 	}
 	wide := flags&csrFlagWide != 0
 	hasVW := flags&csrFlagVW != 0
 	if n > MaxVertices {
-		return fmt.Errorf("BCSR vertex count %d exceeds limit %d", n, MaxVertices)
+		return bcsrErrf("BCSR vertex count %d exceeds limit %d", n, MaxVertices)
 	}
 	if m > 1<<40 {
-		return fmt.Errorf("BCSR edge count %d implausible", m)
+		return bcsrErrf("BCSR edge count %d implausible", m)
 	}
 	if !wide && 2*m > maxCompactHalfEdges {
-		return fmt.Errorf("BCSR declares compact offsets for %d half-edges", 2*m)
+		return bcsrErrf("BCSR declares compact offsets for %d half-edges", 2*m)
 	}
 	l := layoutCSR(int64(n), int64(m), wide, hasVW)
 	if int64(len(data)) != l.total {
-		return fmt.Errorf("BCSR size %d, want %d for n=%d m=%d", len(data), l.total, n, m)
+		return bcsrErrf("BCSR size %d, want %d for n=%d m=%d", len(data), l.total, n, m)
 	}
 	if uintptr(unsafe.Pointer(unsafe.SliceData(data)))&7 != 0 {
-		return fmt.Errorf("BCSR image not 8-byte aligned")
+		return bcsrErrf("BCSR image not 8-byte aligned")
 	}
 
 	nn, half := int(n), int(2*m)
@@ -285,7 +302,7 @@ func parseCSRInto(g *Graph, data []byte) error {
 		first = int64(off[0])
 	}
 	if first != 0 {
-		return fmt.Errorf("BCSR offsets start at %d, not 0", first)
+		return bcsrErrf("BCSR offsets start at %d, not 0", first)
 	}
 	rowEnd := func(v int) int64 {
 		if wide {
@@ -303,7 +320,7 @@ func parseCSRInto(g *Graph, data []byte) error {
 	for v := 0; v < nn; v++ {
 		hi := rowEnd(v)
 		if hi < lo || hi > int64(half) {
-			return fmt.Errorf("BCSR offsets invalid at vertex %d", v)
+			return bcsrErrf("BCSR offsets invalid at vertex %d", v)
 		}
 		if d := int(hi - lo); d > maxDeg2 {
 			maxDeg2 = d
@@ -313,16 +330,16 @@ func parseCSRInto(g *Graph, data []byte) error {
 		for i := lo; i < hi; i++ {
 			e := edges[i]
 			if e.To < 0 || int(e.To) >= nn {
-				return fmt.Errorf("BCSR vertex %d has neighbor %d out of range [0,%d)", v, e.To, nn)
+				return bcsrErrf("BCSR vertex %d has neighbor %d out of range [0,%d)", v, e.To, nn)
 			}
 			if int(e.To) == v {
-				return fmt.Errorf("BCSR self-loop at vertex %d", v)
+				return bcsrErrf("BCSR self-loop at vertex %d", v)
 			}
 			if e.To <= prev {
-				return fmt.Errorf("BCSR adjacency of vertex %d not strictly sorted at %d", v, e.To)
+				return bcsrErrf("BCSR adjacency of vertex %d not strictly sorted at %d", v, e.To)
 			}
 			if e.W <= 0 {
-				return fmt.Errorf("BCSR non-positive weight %d on edge {%d,%d}", e.W, v, e.To)
+				return bcsrErrf("BCSR non-positive weight %d on edge {%d,%d}", e.W, v, e.To)
 			}
 			prev = e.To
 			wd += int64(e.W)
@@ -332,7 +349,7 @@ func parseCSRInto(g *Graph, data []byte) error {
 			}
 		}
 		if wd != wdeg[v] {
-			return fmt.Errorf("BCSR stored weighted degree %d of vertex %d != actual %d", wdeg[v], v, wd)
+			return bcsrErrf("BCSR stored weighted degree %d of vertex %d != actual %d", wdeg[v], v, wd)
 		}
 		if wd > maxWDeg2 {
 			maxWDeg2 = wd
@@ -340,17 +357,17 @@ func parseCSRInto(g *Graph, data []byte) error {
 		lo = hi
 	}
 	if lo != int64(half) {
-		return fmt.Errorf("BCSR offsets cover %d half-edges, file stores %d", lo, half)
+		return bcsrErrf("BCSR offsets cover %d half-edges, file stores %d", lo, half)
 	}
 	if m2 != int64(m) || ew2 != ew || maxDeg2 != int(maxDeg) || maxWDeg2 != maxWDeg {
-		return fmt.Errorf("BCSR header aggregates disagree with edge section")
+		return bcsrErrf("BCSR header aggregates disagree with edge section")
 	}
 	var vwUp2 int64
 	var maxVW2 int32 = 1
 	if hasVW {
 		for v, w := range vw {
 			if w <= 0 {
-				return fmt.Errorf("BCSR non-positive vertex weight %d at vertex %d", w, v)
+				return bcsrErrf("BCSR non-positive vertex weight %d at vertex %d", w, v)
 			}
 			vwUp2 += int64(w)
 			if w > maxVW2 {
@@ -361,7 +378,7 @@ func parseCSRInto(g *Graph, data []byte) error {
 		vwUp2 = int64(nn)
 	}
 	if vwUp2 != vwUp || int64(maxVW2) != maxVW {
-		return fmt.Errorf("BCSR header vertex-weight aggregates disagree")
+		return bcsrErrf("BCSR header vertex-weight aggregates disagree")
 	}
 
 	*g = Graph{

@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -14,8 +16,10 @@ import (
 
 // checkpointSchema versions the checkpoint file format. Bump it when the
 // header or cell layout changes; a resume against a different schema is
-// refused rather than misread.
-const checkpointSchema = 1
+// refused rather than misread. Schema 2 wraps every cell line in a
+// CRC32-carrying envelope so bit rot in one cell quarantines that file
+// and re-runs the cell instead of being spliced into results.
+const checkpointSchema = 2
 
 // checkpointHeader is the first line of a checkpoint file: the campaign
 // identity a resume must match cell-for-cell. Seed, starts, and the
@@ -41,6 +45,15 @@ type checkpointCell struct {
 	Secs  map[string]float64 `json:"secs"`
 }
 
+// checkpointLine is the on-disk envelope of one cell: the cell's compact
+// JSON plus the IEEE CRC32 of exactly those bytes. json.RawMessage
+// preserves the written bytes verbatim on read, so the checksum covers
+// what is actually on disk, not a re-serialization.
+type checkpointLine struct {
+	Cell json.RawMessage `json:"cell"`
+	CRC  uint32          `json:"crc32"`
+}
+
 type cellKey struct{ row, inst int }
 
 // Checkpoint persists harness progress across process deaths. Attach one
@@ -54,21 +67,40 @@ type cellKey struct{ row, inst int }
 // run (recorded wall-clock seconds are spliced too). See
 // docs/ROBUSTNESS.md for the file format.
 //
+// Every cell line carries a CRC32 of its payload. A resume that finds a
+// corrupt cell — bad envelope, checksum mismatch, unparseable or
+// incomplete cell — does not fail the campaign and does not splice the
+// bad bytes: the whole damaged file is copied into a quarantine/
+// directory next to it, the damaged cells are dropped (the runner
+// recomputes them), and the typed *fsx.CorruptRecordError for each is
+// retained for Corruptions(). A corrupt or foreign HEADER stays a hard
+// error: without a trusted identity line, no cell can be trusted either.
+//
 // A Checkpoint is safe for concurrent use by parallel rows but belongs
 // to one Run at a time.
 type Checkpoint struct {
 	path string
+	fs   fsx.FS
 
-	mu     sync.Mutex
-	primed bool
-	hdr    checkpointHeader
-	cells  map[cellKey]checkpointCell
+	mu          sync.Mutex
+	primed      bool
+	hdr         checkpointHeader
+	cells       map[cellKey]checkpointCell
+	corruptions []error
+	quarantined string
 }
 
 // NewCheckpoint returns a checkpoint handle backed by path. The file is
 // not touched until Run loads or records through it.
 func NewCheckpoint(path string) *Checkpoint {
-	return &Checkpoint{path: path, cells: map[cellKey]checkpointCell{}}
+	return NewCheckpointFS(path, fsx.OS)
+}
+
+// NewCheckpointFS is NewCheckpoint on an injected filesystem — the seam
+// fault-injection tests use to prove checkpoint writes fail cleanly and
+// corrupt cells quarantine instead of splicing.
+func NewCheckpointFS(path string, fs fsx.FS) *Checkpoint {
+	return &Checkpoint{path: path, fs: fs, cells: map[cellKey]checkpointCell{}}
 }
 
 // Path returns the backing file path.
@@ -83,10 +115,28 @@ func (cp *Checkpoint) Cells() int {
 	return len(cp.cells)
 }
 
+// Corruptions returns the typed errors for every corrupt cell the last
+// prime dropped (each is a *fsx.CorruptRecordError). Empty means the
+// file verified clean.
+func (cp *Checkpoint) Corruptions() []error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return append([]error(nil), cp.corruptions...)
+}
+
+// Quarantined returns the path the damaged checkpoint file was copied
+// to, or "" if the last prime found no corruption.
+func (cp *Checkpoint) Quarantined() string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.quarantined
+}
+
 // prime binds the checkpoint to a campaign identity and loads any
 // previously recorded cells. A file written by a different campaign
 // (table, seed, starts, or algorithm set) or an unknown schema is an
-// error: splicing its cells would silently corrupt the table.
+// error: splicing its cells would silently corrupt the table. Corrupt
+// CELLS are not an error — they quarantine and re-run (see type doc).
 func (cp *Checkpoint) prime(hdr checkpointHeader) error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
@@ -98,7 +148,9 @@ func (cp *Checkpoint) prime(hdr checkpointHeader) error {
 	}
 	cp.hdr = hdr
 	cp.cells = map[cellKey]checkpointCell{}
-	data, err := os.ReadFile(cp.path)
+	cp.corruptions = nil
+	cp.quarantined = ""
+	data, err := cp.fs.ReadFile(cp.path)
 	if os.IsNotExist(err) {
 		cp.primed = true
 		return nil
@@ -127,20 +179,75 @@ func (cp *Checkpoint) prime(hdr checkpointHeader) error {
 	line := 1
 	for sc.Scan() {
 		line++
-		var cell checkpointCell
-		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
-			return fmt.Errorf("harness: checkpoint %s line %d: %w", cp.path, line, err)
-		}
-		if !cellComplete(cell, hdr.Algorithms) {
-			return fmt.Errorf("harness: checkpoint %s line %d: cell (%d,%d) is missing algorithms", cp.path, line, cell.Row, cell.Inst)
+		cell, cerr := decodeCell(cp.path, line, sc.Bytes(), hdr.Algorithms)
+		if cerr != nil {
+			cp.corruptions = append(cp.corruptions, cerr)
+			continue
 		}
 		cp.cells[cellKey{cell.Row, cell.Inst}] = cell
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("harness: checkpoint %s: %w", cp.path, err)
 	}
+	if len(cp.corruptions) > 0 {
+		// Keep the damaged evidence, then let the runner recompute the
+		// dropped cells. Quarantine failure is non-fatal: losing the copy
+		// is strictly better than splicing bad cells or failing the run.
+		if qpath, qerr := quarantineCopy(cp.fs, cp.path, data); qerr == nil {
+			cp.quarantined = qpath
+		}
+	}
 	cp.primed = true
 	return nil
+}
+
+// decodeCell verifies and decodes one schema-2 cell line. Any failure is
+// a *fsx.CorruptRecordError naming the file and line.
+func decodeCell(path string, line int, raw []byte, algorithms []string) (checkpointCell, error) {
+	var env checkpointLine
+	if err := json.Unmarshal(raw, &env); err != nil || len(env.Cell) == 0 {
+		return checkpointCell{}, &fsx.CorruptRecordError{
+			Path: path, Reason: fmt.Sprintf("line %d: bad cell envelope", line),
+		}
+	}
+	if got := crc32.ChecksumIEEE(env.Cell); got != env.CRC {
+		return checkpointCell{}, &fsx.CorruptRecordError{
+			Path: path, Expected: env.CRC, Got: got,
+		}
+	}
+	var cell checkpointCell
+	if err := json.Unmarshal(env.Cell, &cell); err != nil {
+		return checkpointCell{}, &fsx.CorruptRecordError{
+			Path: path, Reason: fmt.Sprintf("line %d: bad cell payload: %v", line, err),
+		}
+	}
+	if !cellComplete(cell, algorithms) {
+		return checkpointCell{}, &fsx.CorruptRecordError{
+			Path: path, Reason: fmt.Sprintf("line %d: cell (%d,%d) is missing algorithms", line, cell.Row, cell.Inst),
+		}
+	}
+	return cell, nil
+}
+
+// quarantineCopy writes data to quarantine/<base> next to path (with a
+// numeric suffix if that name is taken) and returns the quarantine path.
+func quarantineCopy(fs fsx.FS, path string, data []byte) (string, error) {
+	qdir := filepath.Join(filepath.Dir(path), "quarantine")
+	if err := fs.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	base := filepath.Base(path)
+	qpath := filepath.Join(qdir, base)
+	for i := 1; ; i++ {
+		if _, err := fs.Stat(qpath); os.IsNotExist(err) {
+			break
+		}
+		qpath = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := fsx.WriteFileAtomicFS(fs, qpath, data, 0o644); err != nil {
+		return "", err
+	}
+	return qpath, nil
 }
 
 // lookup returns the recorded cell for (row, inst), if any.
@@ -177,11 +284,15 @@ func (cp *Checkpoint) flushLocked() error {
 		return err
 	}
 	for _, k := range keys {
-		if err := enc.Encode(cp.cells[k]); err != nil {
+		raw, err := json.Marshal(cp.cells[k])
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(checkpointLine{Cell: raw, CRC: crc32.ChecksumIEEE(raw)}); err != nil {
 			return err
 		}
 	}
-	if err := fsx.WriteFileAtomic(cp.path, buf.Bytes(), 0o644); err != nil {
+	if err := fsx.WriteFileAtomicFS(cp.fs, cp.path, buf.Bytes(), 0o644); err != nil {
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
 	return nil

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/fsx"
+)
+
+// corruptCellLine flips one byte inside the idx-th cell line's payload
+// (line 0 is the header) and rewrites the file.
+func corruptCellLine(t *testing.T, path string, idx int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	target := lines[1+idx]
+	// Flip a byte in the middle of the cell payload, away from the
+	// envelope punctuation so the line stays parseable JSON less often
+	// than not — the CRC must catch it either way.
+	pos := len(target) / 2
+	target[pos] ^= 0x04
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A single corrupted cell must not fail the campaign and must not be
+// spliced: the file quarantines, the cell recomputes, Corruptions()
+// carries the typed error, and the final table still matches an
+// uninterrupted reference run.
+func TestCheckpointCorruptCellQuarantinesAndReruns(t *testing.T) {
+	table := ckptTable(2, 3, 60)
+	ref, err := Run(table, ckptConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+	cfg := ckptConfig()
+	cfg.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	before := cfg.Checkpoint.Cells()
+	corruptCellLine(t, path, 2)
+
+	cfg2 := ckptConfig()
+	cfg2.Checkpoint = NewCheckpoint(path)
+	resumed, err := Run(table, cfg2)
+	if err != nil {
+		t.Fatalf("resume over a corrupt cell failed: %v", err)
+	}
+	sameCuts(t, ref, resumed)
+	if cfg2.Checkpoint.Cells() != before {
+		t.Fatalf("resume recorded %d cells, want %d", cfg2.Checkpoint.Cells(), before)
+	}
+
+	// The typed evidence trail: one corruption, one quarantined copy.
+	corr := cfg2.Checkpoint.Corruptions()
+	if len(corr) != 1 {
+		t.Fatalf("Corruptions() = %v, want exactly one", corr)
+	}
+	var ce *fsx.CorruptRecordError
+	if !errors.As(corr[0], &ce) {
+		t.Fatalf("corruption not typed *fsx.CorruptRecordError: %T", corr[0])
+	}
+	if ce.Path != path {
+		t.Fatalf("corruption path = %q, want %q", ce.Path, path)
+	}
+	q := cfg2.Checkpoint.Quarantined()
+	if q == "" {
+		t.Fatal("no quarantine path recorded")
+	}
+	if filepath.Dir(q) != filepath.Join(dir, "quarantine") {
+		t.Fatalf("quarantine landed at %q", q)
+	}
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+}
+
+// Envelope-level damage (a line that is not a cell envelope at all) is
+// the same story: drop, quarantine, recompute.
+func TestCheckpointGarbageCellLine(t *testing.T) {
+	table := ckptTable(1, 2, 50)
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cfg := ckptConfig()
+	cfg.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	lines[1] = []byte(`{"not":"an envelope"}`)
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := ckptConfig()
+	cfg2.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(table, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	corr := cfg2.Checkpoint.Corruptions()
+	if len(corr) != 1 || !strings.Contains(corr[0].Error(), "envelope") {
+		t.Fatalf("Corruptions() = %v, want one envelope error", corr)
+	}
+}
+
+// A checkpoint on a failing filesystem must surface the write error to
+// the campaign (no silent progress loss) and leave the previous on-disk
+// snapshot intact.
+func TestCheckpointWriteFailurePropagates(t *testing.T) {
+	table := ckptTable(1, 3, 50)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+
+	// Healthy first leg: one full pass so a known-good file exists.
+	cfg := ckptConfig()
+	cfg.Checkpoint = NewCheckpoint(path)
+	if _, err := Run(table, cfg); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Failing leg: a different campaign (seed) forces recompute, and every
+	// write attempt hits ENOSPC.
+	ffs := faultfs.New(fsx.OS, faultfs.Plan{Seed: 1, PWrite: 1})
+	cfg2 := ckptConfig()
+	cfg2.Seed = 8
+	cfg2.Checkpoint = NewCheckpointFS(filepath.Join(dir, "ckpt2.jsonl"), ffs)
+	_, rerr := Run(table, cfg2)
+	if rerr == nil {
+		t.Fatal("campaign succeeded while every checkpoint write failed")
+	}
+	if !errors.Is(rerr, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC propagated", rerr)
+	}
+	// The original file is untouched and still resumable.
+	after, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(good, after) {
+		t.Fatalf("healthy checkpoint disturbed: %v", err)
+	}
+}

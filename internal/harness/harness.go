@@ -207,7 +207,7 @@ func Run(t Table, cfg Config) (*TableResult, error) {
 				}
 				continue
 			}
-			return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, t.Specs[rowIdx].Label, err)
+			return nil, fmt.Errorf("harness: table %s row %q: %w", t.ID, t.Specs[rowIdx].Label, err)
 		}
 		// Row buffers replay in table order after the join, so the
 		// merged stream does not depend on row scheduling.
@@ -221,7 +221,7 @@ func Run(t Table, cfg Config) (*TableResult, error) {
 	for rowIdx, spec := range t.Specs {
 		row, rec, err := runRow(spec, rowIdx, c)
 		if err != nil && !runctl.IsStop(err) {
-			return nil, fmt.Errorf("harness: table %s row %q: %v", t.ID, spec.Label, err)
+			return nil, fmt.Errorf("harness: table %s row %q: %w", t.ID, spec.Label, err)
 		}
 		res.Rows[rowIdx] = row
 		if rec != nil {

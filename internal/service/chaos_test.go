@@ -1,0 +1,407 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/fsx"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// chaosSeed parameterizes the chaos harness fault schedule. CI runs the
+// default; a failing run prints its seed, and
+//
+//	go test ./internal/service/ -run TestChaosSurvivesFaultsAndKills -chaos-seed <n>
+//
+// replays the exact same schedule locally (docs/ROBUSTNESS.md, "Fault
+// injection and chaos testing").
+var chaosSeed = flag.Uint64("chaos-seed", 1, "fault-schedule seed for the chaos harness")
+
+// chaosJobsPerRound is the submission load per daemon incarnation.
+const chaosJobsPerRound = 4
+
+// chaosPlan is the fault schedule a chaos daemon runs under. PRename is
+// deliberately zero: a failed quarantine rename during recovery is a
+// hard refusal to start (correct — the daemon will not destroy
+// evidence), which under a deterministic schedule would turn the run
+// into a permanent crash loop. Rename faults are covered by the faultfs
+// unit matrix instead. Warmup keeps the first few startup ops clean so
+// every incarnation at least comes up.
+func chaosPlan(seed uint64) faultfs.Plan {
+	return faultfs.Plan{
+		Seed:   seed,
+		PWrite: 0.2,
+		PSync:  0.15,
+		PRead:  0.08,
+		Warmup: 4,
+	}
+}
+
+// TestChaosDaemonHelper is the victim daemon of
+// TestChaosSurvivesFaultsAndKills: a real bisectd server on a real TCP
+// port, its filesystem wrapped in a seeded fault injector, killed with
+// SIGKILL by the parent. It only runs when re-executed with the chaos
+// environment set.
+func TestChaosDaemonHelper(t *testing.T) {
+	if os.Getenv("BISECTD_CHAOS_HELPER") != "1" {
+		t.Skip("helper process for TestChaosSurvivesFaultsAndKills")
+	}
+	state := os.Getenv("CHAOS_STATE")
+	portFile := os.Getenv("CHAOS_PORT_FILE")
+	var fseed uint64
+	fmt.Sscanf(os.Getenv("CHAOS_FAULT_SEED"), "%d", &fseed)
+
+	fs := fsx.OS
+	if fseed != 0 {
+		fs = faultfs.New(fsx.OS, chaosPlan(fseed))
+	}
+	srv, err := New(Config{
+		StateDir:     state,
+		Workers:      1,
+		FS:           fs,
+		PersistProbe: 25 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos helper: New: %v\n", err)
+		os.Exit(3)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos helper: listen: %v\n", err)
+		os.Exit(3)
+	}
+	// The port file is the harness's own channel — written with the
+	// plain OS filesystem, never under fault injection, and renamed into
+	// place so the parent cannot read a partial address.
+	tmp := portFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		os.Exit(3)
+	}
+	if err := os.Rename(tmp, portFile); err != nil {
+		os.Exit(3)
+	}
+	// Serve until SIGKILL. No graceful shutdown, no signal handler: the
+	// whole point is that the parent pulls the plug.
+	http.Serve(ln, srv.Handler())
+}
+
+// chaosDaemon is one running incarnation of the victim.
+type chaosDaemon struct {
+	cmd    *exec.Cmd
+	base   string // http://127.0.0.1:<port>
+	stderr *bytes.Buffer
+	exited chan error
+}
+
+// kill SIGKILLs the daemon and reaps it, then scans its stderr: a panic
+// in any incarnation fails the chaos run outright.
+func (d *chaosDaemon) kill(t *testing.T) {
+	t.Helper()
+	d.cmd.Process.Kill()
+	<-d.exited
+	if out := d.stderr.String(); strings.Contains(out, "panic:") {
+		t.Fatalf("daemon panicked under chaos:\n%s", out)
+	}
+}
+
+// startChaosDaemon launches the helper with the given fault seed and
+// waits for it to come up (port file written, /v1/healthz answering).
+func startChaosDaemon(t *testing.T, dir, state string, fseed uint64) *chaosDaemon {
+	t.Helper()
+	portFile := filepath.Join(dir, "port")
+	os.Remove(portFile)
+	cmd := exec.Command(os.Args[0], "-test.run=TestChaosDaemonHelper$")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Env = append(os.Environ(),
+		"BISECTD_CHAOS_HELPER=1",
+		"CHAOS_STATE="+state,
+		"CHAOS_PORT_FILE="+portFile,
+		fmt.Sprintf("CHAOS_FAULT_SEED=%d", fseed),
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &chaosDaemon{cmd: cmd, stderr: &stderr, exited: make(chan error, 1)}
+	go func() { d.exited <- cmd.Wait() }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case <-d.exited:
+			t.Fatalf("chaos daemon (fault seed %d) died during startup:\n%s", fseed, stderr.String())
+		default:
+		}
+		if addr, err := os.ReadFile(portFile); err == nil && len(addr) > 0 {
+			d.base = "http://" + string(addr)
+			if resp, err := http.Get(d.base + "/v1/healthz"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return d
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			d.cmd.Process.Kill()
+			t.Fatalf("chaos daemon (fault seed %d) never became healthy:\n%s", fseed, stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// chaosUpload posts the canonical edge-list bytes and returns the
+// content-hash ref. Accepts 200/201 with or without degraded
+// persistence — an upload's compute side never fails for disk reasons.
+func chaosUpload(t *testing.T, base string, elist []byte) string {
+	t.Helper()
+	var info struct {
+		Graph string `json:"graph"`
+	}
+	resp := doJSON(t, http.MethodPost, base+"/v1/graphs", elist, &info)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("chaos upload: HTTP %d", resp.StatusCode)
+	}
+	return info.Graph
+}
+
+// chaosAck is one accepted submission: what the daemon promised.
+type chaosAck struct {
+	id      string
+	seed    uint64
+	durable bool // ack carried no "degraded" flag: the record is on disk
+}
+
+// chaosRef is the fault-free reference result for one job seed.
+type chaosRef struct {
+	cut, imbalance int64
+	sides          []uint8
+}
+
+// The chaos harness: drive load at a persisted daemon whose filesystem
+// injects a seeded fault schedule, SIGKILL it mid-flight, restart,
+// repeat — then audit every acknowledgment it ever issued. The contract
+// (ISSUE: zero lost jobs, zero panics, zero silently-accepted corrupt
+// records):
+//
+//   - every durably-acked job is, after the final restart, either done
+//     with a result byte-identical to the fault-free run, failed with a
+//     typed graph-lost error, or quarantined with its damaged bytes
+//     preserved — never silently missing;
+//   - degraded (non-durable) acks may be lost to a crash, but if they
+//     survive they must carry the same byte-identical result;
+//   - no daemon incarnation ever panics;
+//   - every record left in jobs/ passes CRC verification.
+func TestChaosSurvivesFaultsAndKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos harness")
+	}
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state")
+
+	g := testGraph(t, 200, 4, 77)
+	var elist bytes.Buffer
+	if err := graph.WriteEdgeList(&elist, g); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free reference: the worker loop is pinned to
+	// core.BestOf{Inner, Starts} elsewhere (TestLifecycleMatchesBestOf);
+	// here it is the ground truth every surviving job must match.
+	inner, err := core.New("kl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference := func(seed uint64) chaosRef {
+		best, err := core.BestOf{Inner: inner, Starts: 2}.Bisect(g, rng.NewFib(seed))
+		if err != nil {
+			t.Fatalf("reference bisect: %v", err)
+		}
+		return chaosRef{cut: best.Cut(), imbalance: best.Imbalance(), sides: best.Sides()}
+	}
+
+	var acks []chaosAck
+	const faultRounds = 3
+	for round := 0; round < faultRounds; round++ {
+		fseed := *chaosSeed*1000 + uint64(round) + 1
+		d := startChaosDaemon(t, dir, state, fseed)
+		// Re-upload every round: if a fault schedule or kill quarantined
+		// the persisted graph, the identical bytes restore it in place
+		// (content-hashed names make this safe).
+		ref := chaosUpload(t, d.base, elist.Bytes())
+
+		roundStart := len(acks)
+		for i := 0; i < chaosJobsPerRound; i++ {
+			jobSeed := 1000 + uint64(len(acks))
+			body, _ := json.Marshal(map[string]any{
+				"graph": ref, "algorithm": "kl", "starts": 2, "seed": jobSeed,
+			})
+			var v jobView
+			resp := doJSON(t, http.MethodPost, d.base+"/v1/jobs", body, &v)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("round %d: submit: HTTP %d", round, resp.StatusCode)
+			}
+			acks = append(acks, chaosAck{id: v.ID, seed: jobSeed, durable: v.Persistence == ""})
+		}
+
+		// Let the single worker chew through at least half the round's
+		// jobs, then pull the plug mid-flight.
+		deadline := time.Now().Add(30 * time.Second)
+		for done := 0; done < chaosJobsPerRound/2; {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: no progress before kill", round)
+			}
+			time.Sleep(2 * time.Millisecond)
+			done = 0
+			for _, a := range acks[roundStart:] {
+				var v jobView
+				doJSON(t, http.MethodGet, d.base+"/v1/jobs/"+a.id, nil, &v)
+				if v.State == StateDone {
+					done++
+				}
+			}
+		}
+		d.kill(t)
+	}
+
+	// Final incarnation: clean filesystem (fault seed 0), full audit.
+	d := startChaosDaemon(t, dir, state, 0)
+	defer d.kill(t)
+	chaosUpload(t, d.base, elist.Bytes())
+
+	var doneJobs, quarantined, lostDegraded, failedLost int
+	for _, a := range acks {
+		// Raw GET: a 404 body is an error envelope whose "error" object
+		// does not decode into jobView's error string.
+		resp, err := http.Get(d.base + "/v1/jobs/" + a.id)
+		if err != nil {
+			t.Fatalf("job %s: %v", a.id, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			// Gone. Durable acks must leave quarantine evidence; a
+			// degraded ack was an explicit "this may not survive a crash".
+			matches, _ := filepath.Glob(filepath.Join(state, "quarantine", a.id+".json*"))
+			switch {
+			case len(matches) > 0:
+				quarantined++
+			case !a.durable:
+				lostDegraded++
+			default:
+				t.Errorf("durably acked job %s vanished with no quarantine evidence", a.id)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("job %s: HTTP %d", a.id, resp.StatusCode)
+			continue
+		}
+		// Recovered queued/running jobs re-run deterministically.
+		final := waitTerminalURL(t, d.base, a.id)
+		switch final.State {
+		case StateDone:
+			want := reference(a.seed)
+			if final.Result == nil || final.Result.Cut != want.cut || final.Result.Imbalance != want.imbalance {
+				t.Errorf("job %s diverged from fault-free run: got %+v, want cut=%d imbalance=%d",
+					a.id, final.Result, want.cut, want.imbalance)
+				continue
+			}
+			res := resultOfURL(t, d.base, a.id)
+			if len(res.Sides) != len(want.sides) {
+				t.Errorf("job %s: %d sides, want %d", a.id, len(res.Sides), len(want.sides))
+				continue
+			}
+			for i, s := range want.sides {
+				if res.Sides[i] != int(s) {
+					t.Errorf("job %s: sides diverge at vertex %d", a.id, i)
+					break
+				}
+			}
+			doneJobs++
+		case StateFailed:
+			// The only legitimate failure is a graph lost to corruption
+			// before this round's re-upload restored it.
+			if !strings.Contains(final.Error, "lost") {
+				t.Errorf("job %s failed with untyped error %q", a.id, final.Error)
+			}
+			failedLost++
+		default:
+			t.Errorf("job %s stuck in state %q after clean restart", a.id, final.State)
+		}
+	}
+	if doneJobs == 0 {
+		t.Fatal("chaos run completed zero jobs — the harness exercised nothing")
+	}
+	if doneJobs+quarantined+lostDegraded+failedLost != len(acks) {
+		t.Errorf("accounting broken: %d done + %d quarantined + %d lost-degraded + %d failed-lost != %d acks",
+			doneJobs, quarantined, lostDegraded, failedLost, len(acks))
+	}
+
+	// Zero silently-accepted corrupt records: everything still sitting in
+	// jobs/ must verify. (Torn writes never commit — the atomic-rename
+	// protocol aborts them — and corrupt reads quarantine, so an
+	// unverifiable record here means the daemon accepted damaged bytes.)
+	entries, err := os.ReadDir(filepath.Join(state, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(state, "jobs", name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fsx.SplitCRC(path, data); err != nil {
+			t.Errorf("record %s fails CRC after chaos run: %v", name, err)
+		}
+	}
+	t.Logf("chaos seed %d: %d acks → %d done-identical, %d quarantined, %d lost-degraded, %d failed-lost",
+		*chaosSeed, len(acks), doneJobs, quarantined, lostDegraded, failedLost)
+}
+
+// waitTerminalURL is waitTerminal against a raw base URL.
+func waitTerminalURL(t *testing.T, base, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var v jobView
+		doJSON(t, http.MethodGet, base+"/v1/jobs/"+id+"?wait_ms=2000", nil, &v)
+		if v.State.terminal() {
+			return v
+		}
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobView{}
+}
+
+// chaosResult is the subset of the /result body the audit compares.
+type chaosResult struct {
+	Cut   int64 `json:"cut"`
+	Sides []int `json:"sides"`
+}
+
+func resultOfURL(t *testing.T, base, id string) chaosResult {
+	t.Helper()
+	var res chaosResult
+	resp := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id+"/result", nil, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: HTTP %d", id, resp.StatusCode)
+	}
+	return res
+}

@@ -85,6 +85,11 @@ type job struct {
 	errMsg      string
 	userCancel  bool
 	cancelRun   func() // interrupts the running job's context; nil unless running
+	// unpersisted marks a job whose latest state transition failed to
+	// reach disk (degraded persistence): the job keeps serving from
+	// memory, flagged "degraded" in its HTTP views, until a later write
+	// or the re-arm flush lands its record.
+	unpersisted bool
 
 	events   []trace.Event
 	dropped  int
@@ -186,6 +191,11 @@ type jobView struct {
 	// restarted daemon keeps serving full results; the HTTP job object
 	// never includes it (GET /v1/jobs/{id}/result expands it instead).
 	Sides []byte `json:"sides,omitempty"`
+	// Persistence is "degraded" on HTTP views of a job whose latest
+	// record failed to reach disk (the ack is non-durable: a crash before
+	// the store re-arms loses the job). Never set on persisted records —
+	// bytes that did land are by definition not degraded.
+	Persistence string `json:"persistence,omitempty"`
 }
 
 // view snapshots the job for the HTTP API (no schema, no sides).
@@ -226,8 +236,24 @@ func (j *job) viewLocked(record bool) jobView {
 	if record {
 		v.Schema = jobSchema
 		v.Sides = j.sides
+	} else if j.unpersisted {
+		v.Persistence = "degraded"
 	}
 	return v
+}
+
+// setUnpersisted flags (or clears) the job's non-durable state.
+func (j *job) setUnpersisted(v bool) {
+	j.mu.Lock()
+	j.unpersisted = v
+	j.mu.Unlock()
+}
+
+// isUnpersisted reports whether the job's latest record is non-durable.
+func (j *job) isUnpersisted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.unpersisted
 }
 
 // resultView renders GET /v1/jobs/{id}/result; ok is false unless the

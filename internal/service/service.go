@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fsx"
 	"repro/internal/graph"
 )
 
@@ -41,6 +43,7 @@ const (
 	defaultMaxStarts     = 4096
 	defaultMaxEvents     = 65536
 	defaultHeartbeat     = 15 * time.Second
+	defaultPersistProbe  = 2 * time.Second
 )
 
 // Config parameterizes a Server. The zero value gets sensible defaults.
@@ -72,6 +75,14 @@ type Config struct {
 	MaxEvents int
 	// Heartbeat is the SSE keep-alive comment interval.
 	Heartbeat time.Duration
+	// PersistProbe is the interval at which degraded persistence re-probes
+	// the state directory (a small atomic write to <state>/.probe); a
+	// successful probe re-arms persistence and flushes unpersisted
+	// records. Default 2s. Ignored without a StateDir.
+	PersistProbe time.Duration
+	// FS is the filesystem the store and probe write through (nil =
+	// fsx.OS). Fault-injection tests substitute internal/faultfs here.
+	FS fsx.FS
 }
 
 func (c *Config) fillDefaults() {
@@ -96,6 +107,12 @@ func (c *Config) fillDefaults() {
 	if c.Heartbeat <= 0 {
 		c.Heartbeat = defaultHeartbeat
 	}
+	if c.PersistProbe <= 0 {
+		c.PersistProbe = defaultPersistProbe
+	}
+	if c.FS == nil {
+		c.FS = fsx.OS
+	}
 }
 
 // Server is the partitioning service. Create with New, serve its
@@ -117,6 +134,18 @@ type Server struct {
 	wg      sync.WaitGroup
 	closing atomic.Bool
 	started time.Time
+
+	// Persistence-failure state machine (docs/SERVICE.md "Degraded
+	// persistence"): a failed store write flips degraded instead of
+	// failing the request — the daemon keeps serving from memory, flags
+	// affected jobs, and a successful write (or the periodic probe)
+	// re-arms and flushes. Guarded by pmu; never held with s.mu or j.mu.
+	pmu            sync.Mutex
+	degraded       bool
+	persistErr     string
+	pfailures      int64
+	dirtyGraphs    map[string][]byte
+	corruptAtStart int
 }
 
 // New builds a Server: it recovers persisted state from cfg.StateDir
@@ -124,7 +153,7 @@ type Server struct {
 // the worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
-	st, err := newStore(cfg.StateDir)
+	st, err := newStore(cfg.StateDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +165,8 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan *job, cfg.QueueDepth),
 		jobs:  make(map[string]*job),
 		ctx:   ctx, cancel: cancel,
-		started: time.Now(),
+		started:     time.Now(),
+		dirtyGraphs: map[string][]byte{},
 	}
 	s.routes()
 	requeue, err := s.recover()
@@ -147,6 +177,10 @@ func New(cfg Config) (*Server, error) {
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.workerLoop()
+	}
+	if st != nil {
+		s.wg.Add(1)
+		go s.probeLoop()
 	}
 	if len(requeue) > 0 {
 		// Blocking sends on purpose: recovered jobs may exceed the queue
@@ -184,12 +218,15 @@ func (s *Server) Close() {
 
 // recover loads persisted jobs: terminal ones keep serving results,
 // queued/running ones are re-queued (a re-run is deterministic, so a
-// crash delays an answer but never changes it).
+// crash delays an answer but never changes it). Records that fail CRC
+// verification were quarantined by the store — recovery continues
+// without them, and the count is surfaced in /v1/readyz.
 func (s *Server) recover() ([]*job, error) {
-	recs, err := s.store.loadJobs()
+	recs, corrupt, err := s.store.loadJobs()
 	if err != nil {
 		return nil, err
 	}
+	s.corruptAtStart = len(corrupt)
 	var requeue []*job
 	for _, rec := range recs {
 		spec := Spec{
@@ -226,15 +263,144 @@ func (s *Server) recover() ([]*job, error) {
 				requeue = append(requeue, j)
 			}
 			if j.state != rec.State || rec.State == StateRunning {
-				if err := s.store.saveJob(j.record()); err != nil {
-					return nil, err
-				}
+				// A failed rewrite degrades persistence rather than aborting
+				// recovery: the old record still re-queues correctly on the
+				// next restart.
+				s.persistJob(j)
 			}
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j)
 	}
 	return requeue, nil
+}
+
+// persistJob writes j's current record; persistRecord is the variant for
+// a snapshot taken earlier under j.mu. Both return whether the record is
+// durably on disk. A write failure never fails the caller's request:
+// it flips the server to degraded persistence and marks the job
+// unpersisted, to be flushed when the store re-arms.
+func (s *Server) persistJob(j *job) bool { return s.persistRecord(j, j.record()) }
+
+func (s *Server) persistRecord(j *job, rec jobView) bool {
+	if s.store == nil {
+		return false
+	}
+	if err := s.store.saveJob(rec); err != nil {
+		j.setUnpersisted(true)
+		s.persistFail(err)
+		return false
+	}
+	j.setUnpersisted(false)
+	s.persistOK()
+	return true
+}
+
+// persistFail records a store write failure and enters degraded mode.
+func (s *Server) persistFail(err error) {
+	s.pmu.Lock()
+	s.degraded = true
+	s.persistErr = err.Error()
+	s.pfailures++
+	s.pmu.Unlock()
+}
+
+// persistOK notes a successful store write; if the server was degraded,
+// it re-arms and flushes everything that accumulated in memory.
+func (s *Server) persistOK() {
+	s.pmu.Lock()
+	wasDegraded := s.degraded
+	s.degraded = false
+	s.pmu.Unlock()
+	if wasDegraded {
+		s.flushUnpersisted()
+	}
+}
+
+// flushUnpersisted retries every write that failed while degraded:
+// graph uploads first (jobs reference them), then job records. The
+// first failure re-degrades and leaves the rest for the next re-arm.
+func (s *Server) flushUnpersisted() {
+	s.pmu.Lock()
+	graphs := s.dirtyGraphs
+	s.dirtyGraphs = map[string][]byte{}
+	s.pmu.Unlock()
+	for hash, canonical := range graphs {
+		if err := s.store.saveGraph(hash, canonical); err != nil {
+			s.pmu.Lock()
+			s.dirtyGraphs[hash] = canonical
+			s.pmu.Unlock()
+			s.persistFail(err)
+			return
+		}
+	}
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if !j.isUnpersisted() {
+			continue
+		}
+		if err := s.store.saveJob(j.record()); err != nil {
+			s.persistFail(err)
+			return
+		}
+		j.setUnpersisted(false)
+	}
+}
+
+// probeLoop periodically re-probes a degraded store with a small atomic
+// write; success re-arms persistence and flushes. Healthy stores are
+// left alone (the probe only fires while degraded).
+func (s *Server) probeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.PersistProbe)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.pmu.Lock()
+			degraded := s.degraded
+			s.pmu.Unlock()
+			if !degraded {
+				continue
+			}
+			probe := filepath.Join(s.cfg.StateDir, ".probe")
+			if err := fsx.WriteFileAtomicFS(s.cfg.FS, probe, []byte("probe\n"), 0o644); err != nil {
+				s.persistFail(err)
+				continue
+			}
+			s.persistOK()
+		}
+	}
+}
+
+// persistenceInfo is the persistence block of /v1/readyz and /v1/stats.
+func (s *Server) persistenceInfo() map[string]any {
+	if s.store == nil {
+		return map[string]any{"state": "disabled"}
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	state := "ok"
+	if s.degraded {
+		state = "degraded"
+	}
+	info := map[string]any{
+		"state":       state,
+		"failures":    s.pfailures,
+		"quarantined": s.store.quarantinedCount(),
+	}
+	if s.corruptAtStart > 0 {
+		info["corrupt_records_at_start"] = s.corruptAtStart
+	}
+	if s.persistErr != "" {
+		info["last_error"] = s.persistErr
+	}
+	return info
 }
 
 // seqOf extracts the submission sequence number from a job id
@@ -256,6 +422,7 @@ func seqOf(id string) (int, bool) {
 func Endpoints() []string {
 	return []string{
 		"GET /v1/healthz",
+		"GET /v1/readyz",
 		"GET /v1/stats",
 		"POST /v1/graphs",
 		"GET /v1/graphs/{hash}",
@@ -296,6 +463,9 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/healthz", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleHealthz,
+	}))
+	s.mux.HandleFunc("/v1/readyz", s.methods(map[string]http.HandlerFunc{
+		http.MethodGet: s.handleReadyz,
 	}))
 	s.mux.HandleFunc("/v1/stats", s.methods(map[string]http.HandlerFunc{
 		http.MethodGet: s.handleStats,
@@ -374,6 +544,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReadyz reports whether the daemon should receive traffic, and
+// in what capacity. Degraded persistence still answers 200 — compute is
+// unaffected, acks are just non-durable — with the state spelled out so
+// an operator (or load balancer policy) can decide. Shutdown is 503.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeUnavailable, "daemon is shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"persistence": s.persistenceInfo(),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	counts := map[State]int{}
 	s.mu.Lock()
@@ -393,8 +578,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"failed":    counts[StateFailed],
 			"cancelled": counts[StateCancelled],
 		},
-		"cache":     s.cache.stats(),
-		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"cache":       s.cache.stats(),
+		"persistence": s.persistenceInfo(),
+		"uptime_ms":   time.Since(s.started).Milliseconds(),
 	})
 }
 
@@ -404,6 +590,9 @@ type graphInfo struct {
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
 	Cached   bool   `json:"cached"`
+	// Persistence is "degraded" when the upload was accepted but its
+	// canonical bytes have not reached disk yet (retried on re-arm).
+	Persistence string `json:"persistence,omitempty"`
 }
 
 func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
@@ -433,17 +622,26 @@ func (s *Server) handleGraphUpload(w http.ResponseWriter, r *http.Request) {
 	_, resident := s.cache.peek(hash)
 	resident = resident || s.store.hasGraph(hash)
 	s.cache.put(hash, g)
+	info := graphInfo{
+		Graph: hashPrefix + hash, Vertices: g.N(), Edges: g.M(), Cached: resident,
+	}
 	if err := s.store.saveGraph(hash, canonical); err != nil {
-		writeErr(w, http.StatusInternalServerError, codeInternal, "persisting graph: "+err.Error())
-		return
+		// The graph is in the cache and fully usable; persistence failure
+		// degrades (canonical bytes are kept for the re-arm flush) instead
+		// of failing an upload whose parse succeeded.
+		s.pmu.Lock()
+		s.dirtyGraphs[hash] = canonical
+		s.pmu.Unlock()
+		s.persistFail(err)
+		info.Persistence = "degraded"
+	} else if s.store != nil {
+		s.persistOK()
 	}
 	status := http.StatusCreated
 	if resident {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, graphInfo{
-		Graph: hashPrefix + hash, Vertices: g.N(), Edges: g.M(), Cached: resident,
-	})
+	writeJSON(w, status, info)
 }
 
 // parseGraphBody dispatches on the upload format (docs/SERVICE.md): the
@@ -558,11 +756,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	rec := j.viewLocked(true)
 	accepted := j.viewLocked(false) // snapshot now: a fast worker may flip the state before we respond
 	j.mu.Unlock()
-	if err := s.store.saveJob(rec); err != nil {
-		// The job is already queued; persistence failure surfaces in logs
-		// via the response, not by un-queuing deterministic work.
-		writeErr(w, http.StatusInternalServerError, codeInternal, "persisting job: "+err.Error())
-		return
+	if s.store != nil && !s.persistRecord(j, rec) {
+		// The job is already queued and its compute is deterministic:
+		// a failed record write must not fail the submission. The ack is
+		// non-durable — flagged so the client knows a crash before the
+		// store re-arms would lose it.
+		accepted.Persistence = "degraded"
 	}
 	writeJSON(w, http.StatusAccepted, accepted)
 }
@@ -648,10 +847,9 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		j.wake()
 		rec := j.viewLocked(true)
 		j.mu.Unlock()
-		if err := s.store.saveJob(rec); err != nil {
-			writeErr(w, http.StatusInternalServerError, codeInternal, "persisting job: "+err.Error())
-			return
-		}
+		// A failed write degrades persistence; the cancellation itself
+		// holds in memory either way.
+		s.persistRecord(j, rec)
 	case StateRunning:
 		j.userCancel = true
 		if j.cancelRun != nil {

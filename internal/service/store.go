@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,20 +21,27 @@ const jobSchema = "bisectd-job/v1"
 // store is the daemon's crash-safe persistence layer: canonical graph
 // bytes under graphs/, one job record per file under jobs/, every write
 // through the fsx atomic protocol so a crash at any instant leaves only
-// complete files (docs/SERVICE.md "Persistence format"). A nil *store
-// (no -state directory) disables persistence; all methods are nil-safe.
-type store struct{ dir string }
+// complete files (docs/SERVICE.md "Persistence format"). Every persisted
+// file carries a CRC32 trailer (fsx.AppendCRC); a file that fails
+// verification on read is moved to quarantine/ and surfaced as a typed
+// *fsx.CorruptRecordError — never parsed, never silently dropped. A nil
+// *store (no -state directory) disables persistence; all methods are
+// nil-safe.
+type store struct {
+	dir string
+	fs  fsx.FS
+}
 
-func newStore(dir string) (*store, error) {
+func newStore(dir string, fs fsx.FS) (*store, error) {
 	if dir == "" {
 		return nil, nil
 	}
 	for _, sub := range []string{"graphs", "jobs"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fs.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &store{dir: dir}, nil
+	return &store{dir: dir, fs: fs}, nil
 }
 
 func (s *store) graphPath(hash string) string {
@@ -44,12 +52,53 @@ func (s *store) jobPath(id string) string {
 	return filepath.Join(s.dir, "jobs", id+".json")
 }
 
+// quarantine moves the file at path into <dir>/quarantine/, keeping the
+// base name (with a numeric suffix on collision), and returns the
+// quarantine path. The damaged bytes are preserved as evidence; the
+// original path is freed so a re-upload or re-run can replace it.
+func (s *store) quarantine(path string) (string, error) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := s.fs.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	base := filepath.Base(path)
+	qpath := filepath.Join(qdir, base)
+	for i := 1; ; i++ {
+		if _, err := s.fs.Stat(qpath); os.IsNotExist(err) {
+			break
+		}
+		qpath = filepath.Join(qdir, fmt.Sprintf("%s.%d", base, i))
+	}
+	if err := s.fs.Rename(path, qpath); err != nil {
+		return "", err
+	}
+	return qpath, nil
+}
+
+// quarantinedCount reports how many files sit in quarantine/.
+func (s *store) quarantinedCount() int {
+	if s == nil {
+		return 0
+	}
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, "quarantine"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
 // hasGraph reports whether canonical bytes for hash are on disk.
 func (s *store) hasGraph(hash string) bool {
 	if s == nil {
 		return false
 	}
-	_, err := os.Stat(s.graphPath(hash))
+	_, err := s.fs.Stat(s.graphPath(hash))
 	return err == nil
 }
 
@@ -62,19 +111,31 @@ func (s *store) saveGraph(hash string, canonical []byte) error {
 	if s.hasGraph(hash) {
 		return nil
 	}
-	return fsx.WriteFileAtomic(s.graphPath(hash), canonical, 0o644)
+	return fsx.WriteFileAtomicFS(s.fs, s.graphPath(hash), fsx.AppendCRC(canonical), 0o644)
 }
 
-// loadGraph parses the persisted canonical bytes for hash.
+// loadGraph verifies and parses the persisted canonical bytes for hash.
+// A file failing CRC verification is quarantined and the typed
+// *fsx.CorruptRecordError returned: the graph is lost until re-uploaded
+// (the content hash guarantees a re-upload restores identical bytes).
 func (s *store) loadGraph(hash string) (*graph.Graph, error) {
 	if s == nil {
 		return nil, os.ErrNotExist
 	}
-	data, err := os.ReadFile(s.graphPath(hash))
+	path := s.graphPath(hash)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return graph.ReadEdgeList(bytes.NewReader(data))
+	payload, err := fsx.SplitCRC(path, data)
+	if err != nil {
+		var ce *fsx.CorruptRecordError
+		if errors.As(err, &ce) {
+			_, _ = s.quarantine(path)
+		}
+		return nil, err
+	}
+	return graph.ReadEdgeList(bytes.NewReader(payload))
 }
 
 // saveJob atomically rewrites the job's record; called at every state
@@ -87,40 +148,66 @@ func (s *store) saveJob(rec jobView) error {
 	if err != nil {
 		return err
 	}
-	return fsx.WriteFileAtomic(s.jobPath(rec.ID), data, 0o644)
+	return fsx.WriteFileAtomicFS(s.fs, s.jobPath(rec.ID), fsx.AppendCRC(data), 0o644)
+}
+
+// removeJob deletes a job's record file (used when a re-queued corrupt
+// record is superseded). Missing files are fine.
+func (s *store) removeJob(id string) error {
+	if s == nil {
+		return nil
+	}
+	err := s.fs.Remove(s.jobPath(id))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
 }
 
 // loadJobs reads every persisted job record, id-sorted (ids embed the
-// submission sequence number, so id order is submission order). A
-// record with an unknown schema is an error — the daemon refuses to
-// guess at foreign state.
-func (s *store) loadJobs() ([]jobView, error) {
+// submission sequence number, so id order is submission order). A record
+// that fails CRC verification or does not parse is quarantined and
+// reported in the second return — recovery continues without it, and
+// the daemon surfaces the count in /v1/readyz. A record with an unknown
+// schema is still a hard error: its bytes verified intact, so this is
+// foreign state, not corruption, and the daemon refuses to guess.
+func (s *store) loadJobs() ([]jobView, []error, error) {
 	if s == nil {
-		return nil, nil
+		return nil, nil, nil
 	}
-	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, "jobs"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var recs []jobView
+	var corrupt []error
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
 			continue // stray temp files from killed writers are ignorable
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", name))
+		path := filepath.Join(s.dir, "jobs", name)
+		data, err := s.fs.ReadFile(path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var rec jobView
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return nil, fmt.Errorf("job record %s: %w", name, err)
+		payload, err := fsx.SplitCRC(path, data)
+		if err == nil {
+			var rec jobView
+			if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+				err = &fsx.CorruptRecordError{Path: path, Reason: fmt.Sprintf("verified bytes do not parse: %v", jerr)}
+			} else if rec.Schema != jobSchema {
+				return nil, nil, fmt.Errorf("job record %s: schema %q, want %q", name, rec.Schema, jobSchema)
+			} else {
+				recs = append(recs, rec)
+				continue
+			}
 		}
-		if rec.Schema != jobSchema {
-			return nil, fmt.Errorf("job record %s: schema %q, want %q", name, rec.Schema, jobSchema)
+		if _, qerr := s.quarantine(path); qerr != nil {
+			return nil, nil, fmt.Errorf("quarantining %s: %w (original error: %v)", path, qerr, err)
 		}
-		recs = append(recs, rec)
+		corrupt = append(corrupt, err)
 	}
 	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
-	return recs, nil
+	return recs, corrupt, nil
 }

@@ -54,14 +54,14 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 	j.cancelRun = cancel
 	rec := j.viewLocked(true)
 	j.mu.Unlock()
-	_ = s.store.saveJob(rec)
+	s.persistRecord(j, rec)
 
 	ok = true
 	defer func() {
 		if v := recover(); v != nil {
 			ok = false
 			j.fail(fmt.Sprintf("panic: %v", v), time.Now().UnixMilli())
-			_ = s.store.saveJob(j.record())
+			s.persistJob(j)
 		}
 	}()
 
@@ -70,7 +70,7 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 		b, err := core.New(j.spec.Algorithm)
 		if err != nil { // validated at submission; only recovery of foreign records gets here
 			j.fail(err.Error(), time.Now().UnixMilli())
-			_ = s.store.saveJob(j.record())
+			s.persistJob(j)
 			return true
 		}
 		if s.cfg.JobThreads > 1 {
@@ -103,7 +103,7 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 		if err != nil {
 			if !runctl.IsStop(err) || cand == nil {
 				j.fail(err.Error(), time.Now().UnixMilli())
-				_ = s.store.saveJob(j.record())
+				s.persistJob(j)
 				return true
 			}
 			stopErr = err
@@ -118,7 +118,7 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 	seconds := time.Since(t0).Seconds()
 	if best == nil {
 		j.fail("no result produced", time.Now().UnixMilli())
-		_ = s.store.saveJob(j.record())
+		s.persistJob(j)
 		return true
 	}
 
@@ -138,7 +138,7 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 			// the queue so a restart re-runs it to a deterministic result
 			// instead of freezing a schedule-dependent best-so-far.
 			j.requeue()
-			_ = s.store.saveJob(j.record())
+			s.persistJob(j)
 			return true
 		}
 		stopped = "cancelled"
@@ -158,6 +158,6 @@ func (s *Server) runJob(j *job, bisectors map[string]core.Bisector) (ok bool) {
 		Cut: best.Cut(), Imbalance: best.Imbalance(),
 		Seconds: seconds, Stopped: stopped,
 	}, best.Sides(), time.Now().UnixMilli())
-	_ = s.store.saveJob(j.record())
+	s.persistJob(j)
 	return true
 }

@@ -52,6 +52,30 @@ go test -race -count=2 ./internal/service/
 echo "==> go test -run 'TestCheckpointSurvivesSIGKILL' ./internal/harness/ (kill-and-resume gate)"
 go test -count=1 -run 'TestCheckpointSurvivesSIGKILL' ./internal/harness/
 
+# Fault-injection matrix: every faultfs fault kind (clean and torn
+# ENOSPC writes, fsync and rename EIO, read-side bit flips) against the
+# fsx atomic-write protocol and the CRC trailer layer — committed files
+# never corrupt, injected corruption is always caught and typed.
+echo "==> go test ./internal/faultfs/ ./internal/fsx/ (fault-injection matrix + CRC layer)"
+go test -count=1 ./internal/faultfs/ ./internal/fsx/
+
+# Corruption quarantine: a damaged job record or graph file on disk
+# must quarantine on restart (typed error, evidence preserved, the rest
+# of the state recovered), and a persistence failure must degrade
+# serving instead of failing jobs.
+echo "==> go test -run 'TestCorrupt|TestDegraded|TestReadyz|TestCheckpointCorrupt|TestCheckpointGarbage|TestCheckpointWriteFailure' (quarantine + degraded-mode gates)"
+go test -count=1 -run 'TestCorrupt|TestDegraded|TestReadyz' ./internal/service/
+go test -count=1 -run 'TestCheckpointCorrupt|TestCheckpointGarbage|TestCheckpointWriteFailure' ./internal/harness/
+
+# Chaos gate: a real daemon subprocess under a seeded fault schedule,
+# SIGKILLed mid-flight across several incarnations, then audited — zero
+# lost acks, zero panics, zero silently-accepted corrupt records, every
+# surviving result byte-identical to the fault-free run. Reproduce a
+# failure with CHAOS_SEED=N scripts/check.sh (or -chaos-seed N directly;
+# see docs/ROBUSTNESS.md "Fault injection and chaos testing").
+echo "==> go test -run 'TestChaos' ./internal/service/ -chaos-seed ${CHAOS_SEED:-1} (chaos gate)"
+go test -count=1 -run 'TestChaos' ./internal/service/ -chaos-seed "${CHAOS_SEED:-1}"
+
 # Parser robustness: a short fuzz smoke per reader. Malformed input must
 # error — never panic, never wrap ids into range, never OOM (go test
 # runs the seed corpora; the smoke explores a little beyond them).
@@ -135,4 +159,4 @@ if [ -n "$baseline" ]; then
   go run ./cmd/benchdiff "$baseline" "$out"
 fi
 
-echo "OK: vet, build, race tests, daemon load smoke, kill-and-resume, fuzz smoke, and quick benchmarks all passed"
+echo "OK: vet, build, race tests, daemon load smoke, kill-and-resume, fault/chaos gates, fuzz smoke, and quick benchmarks all passed"
